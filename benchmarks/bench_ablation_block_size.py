@@ -1,0 +1,75 @@
+"""Ablation A2: randomisation-block size vs priming reliability.
+
+Paper §5.2: "we experimentally discovered that executing 100,000 branch
+instructions is sufficient to randomize the state of most PHT entries
+and to effectively disable the 2-level predictor", with shorter
+sequences flagged as future work.  This ablation measures *why* the
+block must be large: small blocks rarely touch the target entry often
+enough to pin it (leave it in a history-independent state), so the §6.2
+calibration search runs out of usable candidates.
+"""
+
+import numpy as np
+
+from conftest import emit, scaled
+from repro.analysis import format_table
+from repro.bpu import skylake
+from repro.core.randomizer import RandomizationBlock
+from repro.cpu import PhysicalCore, Process
+
+BLOCK_SIZES = [10_000, 25_000, 50_000, 100_000, 200_000]
+CANDIDATES = scaled(24)
+TARGET = 0x30_0006D
+
+
+def run_experiment():
+    core = PhysicalCore(skylake(), seed=33)
+    spy = Process("spy")
+    results = {}
+    for size in BLOCK_SIZES:
+        pinned = 0
+        touched = []
+        for seed in range(CANDIDATES):
+            block = RandomizationBlock.generate(seed, n_branches=size)
+            row = block.entry_fold(core, spy, TARGET)
+            if (row == row[0]).all():
+                pinned += 1
+            indices = (
+                block.addresses % core.predictor.bimodal.pht.n_entries
+            )
+            touched.append(
+                len(np.unique(indices)) / core.predictor.bimodal.pht.n_entries
+            )
+        results[size] = (pinned / CANDIDATES, float(np.mean(touched)))
+    return results
+
+
+def test_ablation_block_size(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = [
+        [size, f"{coverage:.1%}", f"{pin_rate:.0%}"]
+        for size, (pin_rate, coverage) in (
+            (s, results[s]) for s in BLOCK_SIZES
+        )
+    ]
+    emit(
+        "ablation_block_size",
+        format_table(
+            ["block branches", "PHT coverage", "blocks pinning the target"],
+            rows,
+            title=(
+                "Ablation A2 — why the paper's block needs ~100k branches "
+                f"({CANDIDATES} candidate blocks per size)"
+            ),
+        ),
+    )
+
+    pin_rates = [results[s][0] for s in BLOCK_SIZES]
+    coverages = [results[s][1] for s in BLOCK_SIZES]
+    # Pinning reliability grows with block size...
+    assert pin_rates[-1] > pin_rates[0]
+    assert pin_rates[BLOCK_SIZES.index(100_000)] >= 0.25
+    # ...as does table coverage, which saturates near 1 at the paper size.
+    assert all(b >= a - 0.02 for a, b in zip(coverages, coverages[1:]))
+    assert coverages[BLOCK_SIZES.index(100_000)] > 0.95

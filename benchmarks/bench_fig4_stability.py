@@ -1,0 +1,113 @@
+"""Figure 4: stability and state distribution of randomisation blocks.
+
+Paper result (a): ~83% of randomly generated blocks leave the target PHT
+entry with stable dominant probe patterns (>= 85% dominance for both the
+TT and NN probe variants); (b) stable signatures decode into the four
+FSM states plus rare ``dirty``, the rest are ``unknown``.
+
+Scaled down from the paper's 10 000 blocks x 1000 probes (see DESIGN.md
+fidelity notes); REPRO_BENCH_SCALE raises the counts.
+"""
+
+from collections import Counter
+
+from conftest import emit, scaled
+from repro.analysis import format_table, scatter
+from repro.bpu import skylake
+from repro.core.calibration import stability_experiment
+from repro.core.patterns import DecodedState
+from repro.cpu import PhysicalCore
+from repro.system.noise import NoiseModel
+
+TARGET = 0x30_0006D
+
+
+def run_experiment():
+    return stability_experiment(
+        lambda: PhysicalCore(skylake(), seed=6),
+        TARGET,
+        n_blocks=scaled(48),
+        block_branches=100_000,
+        repetitions=scaled(40),
+        noise=NoiseModel.isolated(),
+    )
+
+
+def test_fig4_stability(benchmark):
+    assessments = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    fsm = skylake().fsm
+
+    stable = [a for a in assessments if a.stable]
+    stable_share = len(stable) / len(assessments)
+    states = Counter(a.decoded(fsm) for a in assessments)
+
+    scatter_rows = [
+        [
+            a.seed,
+            a.tt_pattern,
+            f"{a.tt_frequency:.0%}",
+            a.nn_pattern,
+            f"{a.nn_frequency:.0%}",
+            "yes" if a.stable else "no",
+            a.decoded(fsm).value,
+        ]
+        for a in assessments[:16]
+    ]
+    emit(
+        "fig4a_stability_scatter",
+        format_table(
+            ["block", "TT dom", "TT freq", "NN dom", "NN freq", "stable", "state"],
+            scatter_rows,
+            title=(
+                "Figure 4a (first 16 blocks) — dominant probe patterns per "
+                f"candidate block; {stable_share:.0%} of {len(assessments)} "
+                "blocks stable (paper: 83%)"
+            ),
+        ),
+    )
+    emit(
+        "fig4a_stability_plot",
+        scatter(
+            [
+                (a.tt_frequency * 100, a.nn_frequency * 100)
+                for a in assessments
+            ],
+            x_range=(30, 100),
+            y_range=(30, 100),
+            title=(
+                "Figure 4a rendered — dominant-pattern frequency, TT (x) "
+                "vs NN (y) probing; stable region is the >=85/>=85 corner"
+            ),
+        ),
+    )
+    emit(
+        "fig4b_state_distribution",
+        format_table(
+            ["decoded state", "share"],
+            [
+                [state.value, f"{states.get(state, 0) / len(assessments):.1%}"]
+                for state in DecodedState
+            ],
+            title="Figure 4b — distribution of decoded PHT states",
+        ),
+    )
+
+    # Reproduction targets: a clear majority of blocks are stable, and
+    # stable blocks decode into real FSM states.
+    assert stable_share >= 0.5
+    known = sum(
+        states.get(s, 0)
+        for s in (
+            DecodedState.SN,
+            DecodedState.WN,
+            DecodedState.WT,
+            DecodedState.ST,
+            DecodedState.DIRTY,
+        )
+    )
+    assert known / len(assessments) >= 0.5
+    # Both strong states occur among stable blocks — the attacker can
+    # pick whichever working point the CPU needs (§6.1's Skylake note).
+    decoded = {a.decoded(fsm) for a in stable}
+    assert DecodedState.SN in decoded
+    assert DecodedState.ST in decoded

@@ -1,0 +1,72 @@
+"""Figure 6: covert-channel decode demonstration.
+
+Paper figure: the spy primes and probes the direction predictor around
+each victim bit, records its per-probe misprediction patterns, and
+decodes them through the dictionary (MM, HM -> 0; MH, HH -> 1 for the
+figure's working point).  The figure shows one erroneously received bit;
+we transmit under the noisy setting so errors can occur naturally and
+report the observed pattern stream the same way.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis import format_table
+from repro.bpu import skylake
+from repro.core.covert import CovertChannel, CovertConfig, error_rate
+from repro.core.prime_probe import probe_pair
+from repro.cpu import PhysicalCore, Process
+from repro.system.scheduler import NoiseSetting
+
+MESSAGE = [0, 1, 1, 0, 1, 1, 0, 1, 1, 0]
+
+
+def run_experiment():
+    core = PhysicalCore(skylake(), seed=12)
+    channel = CovertChannel.for_processes(
+        core,
+        Process("victim"),
+        Process("spy"),
+        setting=NoiseSetting.NOISY,
+        config=CovertConfig(),
+    )
+    patterns = []
+    received = []
+    for bit in MESSAGE:
+        channel.block.apply(core, channel.spy)
+        channel.scheduler.stage_gap()
+        channel.scheduler.victim_turn(lambda b=bit: channel.send_bit(b))
+        channel.scheduler.stage_gap()
+        pattern = probe_pair(
+            core, channel.spy, channel.branch_address,
+            channel.config.probe_outcomes,
+        ).pattern
+        patterns.append(pattern)
+        received.append(channel.dictionary[pattern])
+    return channel.dictionary, patterns, received
+
+
+def test_fig6_covert_demo(benchmark):
+    dictionary, patterns, received = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    rows = [
+        ["original"] + [str(b) for b in MESSAGE],
+        ["spy measurements"] + patterns,
+        ["decoded"] + [str(b) for b in received],
+        ["correct?"] + [
+            "." if a == b else "X" for a, b in zip(MESSAGE, received)
+        ],
+    ]
+    dict_line = "  ".join(f"{p}->{b}" for p, b in sorted(dictionary.items()))
+    emit(
+        "fig6_covert_demo",
+        format_table(
+            ["", *(f"bit{i}" for i in range(len(MESSAGE)))],
+            rows,
+            title=f"Figure 6 — covert channel demo (dictionary: {dict_line})",
+        ),
+    )
+    # Reproduction target: the channel decodes the message with at most
+    # one bad bit over these ten (the paper's figure shows one error).
+    assert error_rate(MESSAGE, received) <= 0.1

@@ -1,0 +1,71 @@
+"""Figure 9: probe latency as a function of the primed PHT state.
+
+Paper result: for both probe variants (two not-taken / two taken
+branches) the four FSM states produce distinguishable first/second
+latency signatures — e.g. probing ST with NN yields two slow (MM)
+measurements, probing WT with NN yields slow-then-fast (MH on the
+textbook FSM) — so the whole attack works from the timestamp counter
+alone.
+"""
+
+from conftest import emit, scaled
+from repro.analysis import format_table
+from repro.bpu import haswell
+from repro.bpu.fsm import State
+from repro.core.patterns import expected_probe_pattern
+from repro.core.timing_detect import probe_state_latencies
+from repro.cpu import PhysicalCore, Process
+
+N = scaled(3_000)
+ADDRESS = 0x30_0006D
+
+
+def run_experiment():
+    core = PhysicalCore(haswell(), seed=18)
+    spy = Process("timer")
+    return probe_state_latencies(core, spy, ADDRESS, n=N), core
+
+
+def test_fig9_probe_state_latency(benchmark):
+    results, core = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    fsm = core.predictor.bimodal.pht.fsm
+
+    rows = []
+    for variant, outcome in (("NN", False), ("TT", True)):
+        for state in (State.ST, State.WT, State.WN, State.SN):
+            pattern, _ = expected_probe_pattern(
+                fsm, fsm.level_for(state), (outcome, outcome)
+            )
+            mean1, std1, mean2, std2 = results[variant][state]
+            rows.append(
+                [
+                    variant,
+                    f"{state.name}({pattern})",
+                    f"{mean1:.1f}±{std1:.0f}",
+                    f"{mean2:.1f}±{std2:.0f}",
+                ]
+            )
+    emit(
+        "fig9_probe_state_latency",
+        format_table(
+            ["probe", "state(expected)", "1st measurement", "2nd measurement"],
+            rows,
+            title=(
+                "Figure 9 — probe latency by primed PHT state "
+                "(paper: states reliably distinguishable by timing)"
+            ),
+        ),
+    )
+
+    nn, tt = results["NN"], results["TT"]
+    gap = 10.0
+    # NN probe: taken-side states mispredict the first probe, the
+    # not-taken side hits.
+    assert nn[State.ST][0] > nn[State.WN][0] + gap
+    assert nn[State.WT][0] > nn[State.SN][0] + gap
+    # TT probe is the mirror image.
+    assert tt[State.SN][0] > tt[State.WT][0] + gap
+    assert tt[State.WN][0] > tt[State.ST][0] + gap
+    # Second measurements separate MM-states from MH-states: probing NN
+    # from ST stays slow, from WT it turns fast (textbook FSM).
+    assert nn[State.ST][2] > nn[State.WT][2] + gap

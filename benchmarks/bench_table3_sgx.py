@@ -1,0 +1,117 @@
+"""Table 3: covert channel with the trojan inside an SGX enclave.
+
+Paper result (Skylake): with the spy assisted by the attacker-controlled
+OS, error rates *improve* on the conventional setting — 0.003-0.51%
+when the OS quiesces the machine, 0.008-0.73% with noise left running —
+because the malicious OS schedules the enclave with single-step
+precision and can silence competing work.
+"""
+
+import numpy as np
+
+from conftest import emit, scaled
+from repro.analysis import binomial_confidence_interval, format_table
+from repro.bpu import skylake
+from repro.core.covert import CovertChannel, CovertConfig, error_rate
+from repro.cpu import PhysicalCore, Process
+from repro.system import Enclave, MaliciousOS
+from repro.system.scheduler import NoiseSetting
+
+N_BITS = scaled(2500)
+PAYLOADS = ["all 0", "all 1", "random"]
+
+PAPER = {
+    "SGX with noise": (0.008, 0.53, 0.73),
+    "SGX isolated": (0.003, 0.153, 0.51),
+}
+
+
+def payload_bits(kind: str, rng) -> list:
+    if kind == "all 0":
+        return [0] * N_BITS
+    if kind == "all 1":
+        return [1] * N_BITS
+    return rng.integers(0, 2, N_BITS).tolist()
+
+
+def transmit_via_enclave(quiesce: bool, bits):
+    core = PhysicalCore(skylake(), seed=24)
+    config = CovertConfig()
+    spy = Process("spy")
+    trojan_process = Process("trojan")
+    address = trojan_process.branch_address(config.branch_link_address)
+
+    state = {"bits": bits, "i": 0}
+
+    def step_fn(c):
+        bit = state["bits"][state["i"]]
+        state["i"] += 1
+        c.execute_branch(trojan_process, address, bit == 1)
+
+    enclave = Enclave(trojan_process, step_fn)
+    osctl = MaliciousOS(core, quiesce=quiesce)
+
+    channel = CovertChannel.for_processes(
+        core, trojan_process, spy,
+        setting=NoiseSetting.SILENT, config=config,
+    )
+    received = []
+    for _ in bits:
+        channel.block.apply(core, spy)  # stage 1
+        osctl.stage_gap()
+        osctl.single_step(enclave)  # stage 2, APIC-precise
+        osctl.stage_gap()
+        received.append(channel.dictionary[channel._probe_pattern()])
+    return received
+
+
+def run_experiment():
+    rng = np.random.default_rng(25)
+    results = {}
+    for label, quiesce in (("SGX with noise", False), ("SGX isolated", True)):
+        for payload in PAYLOADS:
+            bits = payload_bits(payload, rng)
+            received = transmit_via_enclave(quiesce, bits)
+            errors = sum(1 for a, b in zip(bits, received) if a != b)
+            results[(label, payload)] = (errors, len(bits))
+    return results
+
+
+def test_table3_sgx_covert(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = []
+    for label in ("SGX with noise", "SGX isolated"):
+        row = [label]
+        for payload, paper_value in zip(PAYLOADS, PAPER[label]):
+            errors, total = results[(label, payload)]
+            low, high = binomial_confidence_interval(errors, total)
+            row.append(
+                f"{errors / total:.3%} [{low:.2%},{high:.2%}] "
+                f"(paper {paper_value}%)"
+            )
+        rows.append(row)
+    emit(
+        "table3_sgx_covert",
+        format_table(
+            ["setting", *PAYLOADS],
+            rows,
+            title=(
+                f"Table 3 — SGX covert channel error rate, Skylake "
+                f"({N_BITS} bits per cell; paper used 1M)"
+            ),
+        ),
+    )
+
+    def rate(label, payload):
+        errors, total = results[(label, payload)]
+        return errors / total
+
+    # Quiesced OS is at least as good as leaving noise running.
+    mean_quiet = np.mean([rate("SGX isolated", p) for p in PAYLOADS])
+    mean_noise = np.mean([rate("SGX with noise", p) for p in PAYLOADS])
+    assert mean_quiet <= mean_noise + 0.003
+    # SGX error rates sit in the sub-percent regime of Table 3.
+    for label in PAPER:
+        for payload in PAYLOADS:
+            assert rate(label, payload) < 0.012, (label, payload)

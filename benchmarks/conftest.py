@@ -1,0 +1,52 @@
+"""Benchmark-harness plumbing.
+
+Every bench regenerates one of the paper's tables or figures (see
+DESIGN.md's experiment index): it runs the experiment inside the
+pytest-benchmark timer, renders the paper-shaped table/series with
+:func:`repro.analysis.format_table`, asserts the reproduction target
+(orderings/crossovers, not absolute numbers), and *emits* the rendered
+text.  Emitted tables are written to ``benchmarks/results/<name>.txt``
+and echoed in the terminal summary so a plain
+``pytest benchmarks/ --benchmark-only`` run shows every regenerated
+result.
+
+Set ``REPRO_BENCH_SCALE`` (default 1.0) to scale experiment sizes up or
+down, e.g. ``REPRO_BENCH_SCALE=5 pytest benchmarks/`` for a
+closer-to-paper run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Tuple
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_EMITTED: List[Tuple[str, str]] = []
+
+#: Global size multiplier for experiment workloads.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int, minimum: int = 1) -> int:
+    """Apply the REPRO_BENCH_SCALE multiplier to a workload size."""
+    return max(minimum, int(n * SCALE))
+
+
+def emit(name: str, text: str) -> None:
+    """Record a regenerated table/figure for the terminal summary."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    _EMITTED.append((name, text))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _EMITTED:
+        return
+    terminalreporter.section("regenerated paper tables & figures")
+    for name, text in _EMITTED:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"── {name} " + "─" * max(1, 66 - len(name)))
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

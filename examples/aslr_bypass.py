@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Derandomising ASLR with directional-predictor collisions (paper §9.2).
+
+The attacker knows the victim binary (and so the link-time offset of
+some frequently executed branch) but not where ASLR loaded it.  PHT
+collisions answer that: prime a candidate address, trigger the victim,
+probe — a state change means the victim's branch shares the candidate's
+PHT entry, i.e. the addresses are congruent modulo the table size.
+That recovers log2(16384) - log2(alignment) bits of the load base.
+
+Run:  python examples/aslr_bypass.py
+"""
+
+import numpy as np
+
+from repro import NoiseSetting, PhysicalCore, Process, skylake
+from repro.core.aslr_attack import recover_load_base
+from repro.system import AslrConfig, AttackScheduler
+
+
+def main() -> None:
+    core = PhysicalCore(skylake(), seed=31337)
+    rng = np.random.default_rng(2)
+    spy = Process("spy")
+
+    # Fine-grained ASLR: 1024 possible load slots at 16-byte alignment.
+    aslr = AslrConfig(entropy_bits=10, alignment=16)
+    victim = aslr.randomized_process("victim", rng, link_base=0)
+    branch_offset = 0x7C2  # known from the victim binary
+    true_address = victim.branch_address(branch_offset)
+    print(
+        f"ASLR: {aslr.slots} slots x {aslr.alignment}-byte alignment; "
+        "victim load base hidden\n"
+    )
+
+    counter = {"n": 0}
+
+    def trigger():
+        """Make the victim run its hot branch once (e.g. send a request)."""
+        counter["n"] += 1
+        core.execute_branch(victim, true_address, counter["n"] % 3 != 0)
+
+    candidates = [slot * aslr.alignment for slot in range(aslr.slots)]
+    scores = recover_load_base(
+        core,
+        spy,
+        branch_offset,
+        trigger,
+        candidates,
+        trials=8,
+        scheduler=AttackScheduler(core, NoiseSetting.ISOLATED),
+    )
+
+    pht = core.predictor.bimodal.pht.n_entries
+    print("top collision candidates (score = state-change rate):")
+    for score in scores[:5]:
+        marker = (
+            "  <- victim's congruence class"
+            if score.candidate_address % pht == true_address % pht
+            else ""
+        )
+        print(
+            f"  address {score.candidate_address:#08x}  "
+            f"score {score.score:.2f}{marker}"
+        )
+
+    best = scores[0]
+    hit = best.candidate_address % pht == true_address % pht
+    remaining = aslr.slots // (pht // aslr.alignment)
+    print(
+        f"\ncollision class {'FOUND' if hit else 'missed'}: "
+        f"entropy reduced from {aslr.slots} candidate bases to "
+        f"{max(1, remaining)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Covert channel across hyperthreads (paper §1's SMT claim).
+
+The sender never gets descheduled: it free-runs on the sibling hardware
+thread, its branch executions interleaving with the spy's prime/probe
+instructions at fine grain.  The channel survives because the SN/TT
+working point is absorbing under repeated sender executions and the spy
+majority-votes a few samples per bit.
+
+Run:  python examples/hyperthread_covert.py
+"""
+
+import numpy as np
+
+from repro import PhysicalCore, Process, error_rate, skylake
+from repro.core.covert_smt import SMTConfig, SMTCovertChannel
+
+
+def main() -> None:
+    core = PhysicalCore(skylake(), seed=3131)
+    message = "SMT works"
+    bits = [
+        (byte >> bit) & 1
+        for byte in message.encode()
+        for bit in range(7, -1, -1)
+    ]
+    print(f'sending "{message}" ({len(bits)} bits) across hyperthreads\n')
+
+    for rate in (0.3, 1.0, 2.5):
+        channel = SMTCovertChannel.establish(
+            core,
+            Process("sender-ht1"),
+            Process("spy-ht0"),
+            config=SMTConfig(victim_rate=rate, samples_per_bit=5),
+        )
+        received = channel.transmit(bits)
+        data = bytearray()
+        for i in range(0, len(received), 8):
+            byte = 0
+            for bit in received[i : i + 8]:
+                byte = (byte << 1) | bit
+            data.append(byte)
+        print(
+            f"sender rate {rate:>3.1f} ops/slot -> "
+            f'"{data.decode(errors="replace")}" '
+            f"(error {error_rate(bits, received):.1%})"
+        )
+
+    print(
+        "\nNo context switches needed: prior BTB attacks leaked only "
+        "between processes on the same *virtual* core (paper §1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Recovering image structure from libjpeg's IDCT branches (paper §9.2).
+
+The decoder's inverse DCT skips all-zero coefficient rows; each skip
+check is a conditional branch.  By spying on the row-check branch the
+attacker reconstructs the per-block sparsity map — a low-resolution
+complexity image of the picture being decoded, without ever seeing the
+pixels.
+
+Run:  python examples/jpeg_spy.py
+"""
+
+import numpy as np
+
+from repro import BranchScope, NoiseSetting, PhysicalCore, Process, skylake
+from repro.victims import JpegDecoderVictim, encode_image
+
+
+def render(matrix: np.ndarray, levels: str = " .:-=+*#%@") -> str:
+    lo, hi = matrix.min(), matrix.max()
+    span = (hi - lo) or 1
+    return "\n".join(
+        "".join(
+            levels[int((value - lo) / span * (len(levels) - 1))]
+            for value in row
+        )
+        for row in matrix
+    )
+
+
+def main() -> None:
+    core = PhysicalCore(skylake(), seed=123)
+    rng = np.random.default_rng(5)
+
+    # The "photo" the victim decodes: a bright disc on a flat background.
+    y, x = np.mgrid[0:48, 0:64]
+    disc = ((x - 40) ** 2 + (y - 22) ** 2) < 180
+    pixels = np.where(disc, 210.0, 70.0) + rng.normal(0, 3, (48, 64))
+    image = encode_image(np.clip(pixels, 0, 255))
+    victim = JpegDecoderVictim(image)
+    blocks_y, blocks_x = image.block_grid
+    print(
+        f"victim decodes a {pixels.shape[1]}x{pixels.shape[0]} image "
+        f"({blocks_y}x{blocks_x} blocks, "
+        f"{victim.steps_remaining()} zero-check branches)\n"
+    )
+
+    attack = BranchScope(
+        core,
+        Process("spy"),
+        victim.row_branch_address,
+        setting=NoiseSetting.ISOLATED,
+    )
+
+    recovered_rows = []
+    while not victim.finished:
+        if victim.next_branch_address() == victim.row_branch_address:
+            recovered_rows.append(
+                attack.spy_on_branch(lambda: victim.step(core)).taken
+            )
+        else:
+            victim.step(core)
+
+    # Non-zero rows per block = the leaked complexity map.
+    leaked = (
+        np.array(recovered_rows)
+        .reshape(blocks_y, blocks_x, 8)
+        .sum(axis=2)
+    )
+    truth = (~image.zero_row_map()).sum(axis=2)
+
+    print("ground-truth block complexity (non-zero IDCT rows per block):")
+    print(render(truth))
+    print("\nattacker's reconstruction from branch directions alone:")
+    print(render(leaked))
+    accuracy = (leaked == truth).mean()
+    print(f"\nper-block complexity recovered exactly: {accuracy:.1%}")
+
+
+if __name__ == "__main__":
+    main()

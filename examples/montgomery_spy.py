@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Stealing a private exponent from the Montgomery ladder (paper §9.2).
+
+The Montgomery powering ladder performs identical arithmetic for 0-bits
+and 1-bits — constant time, constant power — but its loop branches on
+the key bit, and the direction predictor remembers.  The spy triggers
+the victim's decryption one ladder step at a time (victim-slowdown
+assumption) and reads each key bit out of the shared PHT entry.
+
+Run:  python examples/montgomery_spy.py
+"""
+
+from repro import BranchScope, NoiseSetting, PhysicalCore, Process, skylake
+from repro.victims import MontgomeryLadderVictim, ladder_scalar_mult, TinyCurve
+
+
+def main() -> None:
+    core = PhysicalCore(skylake(), seed=99)
+    spy = Process("spy")
+
+    secret_key = 0xC0FFEE_5EC12E7  # the victim's private exponent
+    victim = MontgomeryLadderVictim(secret_key)
+    print(
+        f"victim: RSA-style modexp, {victim.n_bits}-bit private exponent, "
+        f"ladder branch at {victim.branch_address:#x}\n"
+    )
+
+    attack = BranchScope(
+        core, spy, victim.branch_address, setting=NoiseSetting.ISOLATED
+    )
+    bits = attack.spy_on_bits(lambda: victim.step(core), victim.n_bits)
+
+    recovered = 0
+    for bit in bits:
+        recovered = (recovered << 1) | int(bit)
+
+    print(f"secret key : {secret_key:#x}")
+    print(f"recovered  : {recovered:#x}")
+    matching = sum(
+        (recovered >> i) & 1 == (secret_key >> i) & 1
+        for i in range(victim.n_bits)
+    )
+    print(f"{matching}/{victim.n_bits} key bits correct\n")
+
+    # The victim's decryption itself completed normally — nothing
+    # architectural happened to it.
+    assert victim.result == pow(victim.base, secret_key, victim.modulus)
+    print("victim's modexp result unaffected (attack is purely observational)")
+
+    # The same ladder drives ECC scalar multiplication; the same branch
+    # leaks the scalar (Yarom et al. recovered ECDSA nonces this way).
+    curve = TinyCurve()
+    point = ladder_scalar_mult(curve, secret_key, curve.base_point())
+    print(f"ECC: k·P for the stolen k validates on-curve: {curve.is_on_curve(point)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Reverse engineering the PHT from user space (paper §6.3, Figure 5).
+
+Using nothing but its own branches and misprediction counters, the
+attacker maps the states of PHT entries across an address range,
+observes that the pattern repeats, and recovers the table size by
+minimising the Hamming-distance ratio over window sizes (Equations 1-4).
+On the paper's machine — and on this model — the answer is 16 384
+byte-granular entries.
+
+Run:  python examples/pht_reverse_engineering.py
+"""
+
+import numpy as np
+
+from repro import PhysicalCore, Process, RandomizationBlock, haswell
+from repro.core.pht_map import (
+    estimate_pht_size,
+    hamming_ratio_curve,
+    scan_states,
+)
+
+
+def main() -> None:
+    core = PhysicalCore(haswell(), seed=55)
+    spy = Process("mapper")
+
+    block = RandomizationBlock.generate(11, n_branches=100_000)
+    compiled = block.compile(core, spy)
+
+    base = 0x300000
+    scan_length = 1 << 15
+    print(f"scanning PHT states behind {scan_length} addresses at {base:#x}...")
+    states = scan_states(
+        core, spy, list(range(base, base + scan_length)), compiled
+    )
+
+    strip = "".join(
+        "D" if s.value == "dirty" else s.value[0] for s in states[:128]
+    )
+    print("\nfirst 128 addresses (S=strong-prefix, W=weak-prefix, U=unknown):")
+    print(strip[:64])
+    print(strip[64:])
+
+    windows = [1 << k for k in range(10, 16)] + [16_300, 16_380]
+    curve = hamming_ratio_curve(states, windows, rng=np.random.default_rng(0))
+    print("\nHamming ratio by window size (Figure 5b):")
+    for window, ratio in sorted(curve.items()):
+        bar = "#" * int(ratio * 60)
+        print(f"  w={window:6d}  {ratio:.4f}  {bar}")
+
+    estimate = estimate_pht_size(
+        states, windows=windows, rng=np.random.default_rng(0)
+    )
+    print(
+        f"\nrecovered PHT size: {estimate} entries "
+        f"(simulated hardware truth: {core.predictor.bimodal.pht.n_entries})"
+    )
+
+
+if __name__ == "__main__":
+    main()

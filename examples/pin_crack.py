@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Cracking a PIN through an early-exit comparison (classic branchy leak).
+
+A verification service compares the submitted PIN against the stored one
+digit by digit and bails out at the first mismatch.  Timing attacks read
+how *long* the check took; BranchScope reads the *direction of each
+comparison branch*, so each position falls to at most 10 guesses —
+8 digits in ≤80 verification attempts instead of 10^8.
+
+Run:  python examples/pin_crack.py
+"""
+
+from repro import BranchScope, NoiseSetting, PhysicalCore, Process, skylake
+from repro.victims import EarlyExitComparatorVictim, crack_secret
+
+
+def main() -> None:
+    core = PhysicalCore(skylake(), seed=4242)
+
+    stored_pin = [7, 3, 9, 0, 2, 5, 8, 1]
+    victim = EarlyExitComparatorVictim(stored_pin)
+    print(
+        f"victim: {len(stored_pin)}-digit PIN check with early exit, "
+        f"comparison branch at {victim.branch_address:#x}"
+    )
+    print(f"brute-force space: 10^{len(stored_pin)} attempts\n")
+
+    attack = BranchScope(
+        core,
+        Process("spy"),
+        victim.branch_address,
+        setting=NoiseSetting.ISOLATED,
+    )
+
+    recovered = crack_secret(attack, victim, core, alphabet=list(range(10)))
+
+    print(f"stored PIN : {''.join(map(str, stored_pin))}")
+    print(f"recovered  : {''.join(map(str, recovered))}")
+    # Confirm through the front door.
+    victim.submit_guess(recovered)
+    while not victim.check_finished:
+        victim.step(core)
+    print(
+        f"\nverification with recovered PIN: "
+        f"{'ACCEPTED' if victim.last_result else 'rejected'} "
+        f"(<= {10 * len(stored_pin)} guesses used)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: leak one secret bit through the directional predictor.
+
+The minimal BranchScope loop on a simulated Skylake core:
+
+1. build a shared physical core and two processes (victim + spy),
+2. calibrate a randomisation block that primes the victim branch's PHT
+   entry into a known strong state (the one-time §6.2 pre-attack step),
+3. prime -> trigger the victim -> probe, and decode the branch
+   direction from the spy's own misprediction counters.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BranchScope, NoiseSetting, PhysicalCore, Process, skylake
+from repro.victims import SecretBitArrayVictim
+
+
+def main() -> None:
+    # One physical core; victim and spy share its branch predictor (§3).
+    core = PhysicalCore(skylake(), seed=2024)
+    spy = Process("spy")
+
+    # The victim holds a secret the spy has no right to read (Listing 2).
+    secret = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0, 1]
+    victim = SecretBitArrayVictim(secret)
+    print(f"victim branch at {victim.branch_address:#x}; secret hidden\n")
+
+    # Configure the attack on that branch address (known from the
+    # victim binary) and run the one-time calibration search.
+    attack = BranchScope(
+        core, spy, victim.branch_address, setting=NoiseSetting.ISOLATED
+    )
+    block = attack.calibrate()
+    print(
+        f"calibrated randomisation block: seed={block.block.seed}, "
+        f"{len(block.block):,} branches, pins the target entry\n"
+    )
+
+    # Leak the secret one branch direction at a time.
+    recovered = attack.spy_on_bits(
+        lambda: victim.execute_next(core), len(secret)
+    )
+    recovered_bits = [int(taken) for taken in recovered]
+
+    print(f"secret    : {secret}")
+    print(f"recovered : {recovered_bits}")
+    errors = sum(1 for a, b in zip(secret, recovered_bits) if a != b)
+    print(f"\n{len(secret) - errors}/{len(secret)} bits correct")
+
+
+if __name__ == "__main__":
+    main()

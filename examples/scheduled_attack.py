@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""The attack as actual scheduled processes (paper §3's threat model).
+
+Everything in this demo — the spy's 100k-branch priming block, its probe
+branches, the victim's secret branches — executes through a round-robin
+OS scheduler as ordinary process instruction streams.  The attacker's
+only scheduling leverage is the Gullasch-style slowdown: the victim's
+timeslice is one branch instruction, while the spy's covers a full
+prime+probe cycle.
+
+Run:  python examples/scheduled_attack.py
+"""
+
+import numpy as np
+
+from repro import PhysicalCore, Process, error_rate, skylake
+from repro.core.calibration import find_block
+from repro.core.covert import build_dictionary
+from repro.core.patterns import DecodedState
+from repro.bpu.fsm import State
+from repro.cpu.counters import CounterKind
+from repro.system.programs import BranchOp, Program, SliceScheduler, Yield
+
+N_BITS = 16  # ~1 minute: every one of the ~1.6M branches is fully simulated
+BLOCK_BRANCHES = 100_000
+
+
+def main() -> None:
+    core = PhysicalCore(skylake(), seed=314)
+    spy_process = Process("spy")
+    victim_process = Process("victim")
+
+    secret = np.random.default_rng(6).integers(0, 2, N_BITS).tolist()
+    branch_address = victim_process.branch_address(0x30_0006D)
+
+    # Pre-attack: calibrate the randomisation block (§6.2).  The block's
+    # *branches* are later replayed through the scheduler; calibration
+    # itself is the attacker's offline homework.
+    compiled = find_block(
+        core, spy_process, branch_address, DecodedState.SN,
+        block_branches=BLOCK_BRANCHES,
+    )
+    block = compiled.block
+    dictionary = build_dictionary(
+        core.predictor.bimodal.pht.fsm, State.SN, (True, True)
+    )
+    print(
+        f"calibrated block seed={block.seed}; running spy and victim as "
+        "scheduled processes...\n"
+    )
+
+    received = []
+
+    def spy_body(program: Program):
+        for _ in range(N_BITS):
+            # Stage 1: prime by executing the whole block.
+            for address, taken in zip(block.addresses, block.outcomes):
+                yield BranchOp(int(address), bool(taken))
+            # Stage 2: sleep; the scheduler runs the victim (Listing 3's
+            # usleep).
+            yield Yield()
+            # Stage 3: probe with two taken branches, counters around
+            # each.
+            hits = []
+            for outcome in (True, True):
+                before = core.read_counter(
+                    spy_process, CounterKind.BRANCH_MISSES
+                )
+                yield BranchOp(branch_address, outcome)
+                after = core.read_counter(
+                    spy_process, CounterKind.BRANCH_MISSES
+                )
+                hits.append(after - before <= 0)
+            pattern = ("H" if hits[0] else "M") + ("H" if hits[1] else "M")
+            received.append(dictionary[pattern])
+
+    def victim_body(program: Program):
+        for bit in secret:
+            yield BranchOp(branch_address, bit == 1)
+
+    spy = Program(spy_process, spy_body)
+    victim = Program(victim_process, victim_body)
+    scheduler = SliceScheduler(
+        core,
+        [spy, victim],
+        slices={spy: BLOCK_BRANCHES + 10, victim: 1},
+    )
+    rounds = scheduler.run()
+
+    print(f"scheduler rounds          : {rounds}")
+    print(f"branches executed by spy  : {len(spy.executions):,}")
+    print(f"branches executed by victim: {len(victim.executions)}")
+    print(f"\nsecret    : {''.join(map(str, secret))}")
+    print(f"recovered : {''.join(map(str, received))}")
+    print(f"error rate: {error_rate(secret, received):.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""BranchScope against an SGX enclave (paper §9, Table 3).
+
+SGX seals the victim's memory away from even the OS — but the branch
+predictor stays shared.  Worse for the victim, the SGX threat model
+*gives* the attacker the OS: single-instruction scheduling of the
+enclave (APIC-timer stepping) and a quiesced machine.  The result is a
+cleaner channel than the conventional cross-process attack.
+
+Run:  python examples/sgx_attack.py
+"""
+
+import numpy as np
+
+from repro import (
+    CovertChannel,
+    Enclave,
+    MaliciousOS,
+    NoiseSetting,
+    PhysicalCore,
+    Process,
+    error_rate,
+    skylake,
+)
+
+
+def main() -> None:
+    core = PhysicalCore(skylake(), seed=77)
+    spy = Process("spy")
+
+    # The sealed secret: 512 bits only the enclave can touch.
+    secret = np.random.default_rng(11).integers(0, 2, 512).tolist()
+    cursor = {"i": 0}
+    enclave_process = Process("sealed-worker")
+    channel_seed_config = CovertChannel.for_processes(
+        core, enclave_process, spy, setting=NoiseSetting.SILENT
+    )
+    branch_address = channel_seed_config.branch_address
+
+    def enclave_step(c):
+        """One secret-dependent branch inside the enclave."""
+        bit = secret[cursor["i"] % len(secret)]
+        cursor["i"] += 1
+        c.execute_branch(enclave_process, branch_address, bit == 1)
+
+    enclave = Enclave(enclave_process, enclave_step)
+    print(f"enclave sealed; secret branch at {branch_address:#x}\n")
+
+    for label, quiesce in (("with noise", False), ("isolated", True)):
+        cursor["i"] = 0
+        malicious_os = MaliciousOS(core, quiesce=quiesce)
+        received = []
+        for _ in secret:
+            channel_seed_config.block.apply(core, spy)   # stage 1
+            malicious_os.stage_gap()
+            malicious_os.single_step(enclave)            # stage 2
+            malicious_os.stage_gap()
+            pattern = channel_seed_config._probe_pattern()  # stage 3
+            received.append(channel_seed_config.dictionary[pattern])
+        print(
+            f"SGX {label:11s}: {error_rate(secret, received):.2%} error "
+            f"over {len(secret)} bits "
+            f"(paper Table 3: {'0.51%' if quiesce else '0.73%'} random)"
+        )
+
+    print(
+        "\nNote the inversion: the attacker-controlled OS makes the SGX "
+        "channel *cleaner* than the ordinary cross-process one."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Statistics and reporting utilities for experiments and benches."""
+
+from repro.analysis.channel import ChannelEstimate, binary_entropy, bsc_capacity
+from repro.analysis.plotting import bar_chart, curve, scatter
+from repro.analysis.report import format_table
+from repro.analysis.stats import (
+    binomial_confidence_interval,
+    mean_and_std,
+    state_distribution,
+)
+
+__all__ = [
+    "ChannelEstimate",
+    "bar_chart",
+    "binary_entropy",
+    "binomial_confidence_interval",
+    "bsc_capacity",
+    "curve",
+    "format_table",
+    "mean_and_std",
+    "scatter",
+    "state_distribution",
+]

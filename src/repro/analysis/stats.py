@@ -1,0 +1,60 @@
+"""Small statistics helpers shared by tests, examples and benches."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.patterns import DecodedState
+
+__all__ = [
+    "mean_and_std",
+    "binomial_confidence_interval",
+    "state_distribution",
+]
+
+
+def mean_and_std(values: Sequence[float]) -> Tuple[float, float]:
+    """Sample mean and standard deviation (ddof=0) of a sequence."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("no values")
+    return float(arr.mean()), float(arr.std())
+
+
+def binomial_confidence_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score interval for a proportion (default 95%).
+
+    Used to report covert-channel error rates with honest uncertainty —
+    at sub-percent error rates and scaled-down bit counts the interval
+    matters.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes out of range")
+    p = successes / trials
+    denom = 1 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return max(0.0, centre - margin), min(1.0, centre + margin)
+
+
+def state_distribution(
+    states: Sequence[DecodedState],
+) -> Dict[DecodedState, float]:
+    """Relative frequency of each decoded PHT state (Figure 4b's pie)."""
+    if not states:
+        raise ValueError("no states")
+    counts = Counter(states)
+    total = len(states)
+    return {state: counts.get(state, 0) / total for state in DecodedState}

@@ -1,0 +1,57 @@
+"""Branch prediction unit substrate.
+
+This subpackage implements the hardware model that BranchScope attacks
+(paper Figure 1): a hybrid directional predictor composed of
+
+* a 1-level *bimodal* predictor (:mod:`repro.bpu.bimodal`) whose pattern
+  history table (PHT, :mod:`repro.bpu.pht`) of two-bit saturating counters
+  (:mod:`repro.bpu.fsm`) is indexed directly by the branch address,
+* a 2-level *gshare* predictor (:mod:`repro.bpu.gshare`) indexed by the
+  branch address XORed with a global history register
+  (:mod:`repro.bpu.ghr`),
+* a *selector table* (:mod:`repro.bpu.selector`) choosing between the two,
+* a branch target buffer (:mod:`repro.bpu.btb`) for target prediction, and
+* a branch identification table (:mod:`repro.bpu.bit`) that models which
+  branches the BPU has seen recently (new branches fall back to the
+  1-level predictor, the behaviour BranchScope exploits in paper §5).
+
+Everything is composed by :class:`repro.bpu.hybrid.HybridPredictor`;
+per-microarchitecture configurations live in :mod:`repro.bpu.presets`.
+"""
+
+from repro.bpu.bimodal import BimodalPredictor
+from repro.bpu.bit import BranchIdentificationTable
+from repro.bpu.btb import BranchTargetBuffer
+from repro.bpu.fsm import FSMSpec, State, skylake_fsm, textbook_2bit_fsm
+from repro.bpu.ghr import GlobalHistoryRegister
+from repro.bpu.gshare import GSharePredictor
+from repro.bpu.hybrid import Component, HybridPredictor, Prediction
+from repro.bpu.pht import PatternHistoryTable
+from repro.bpu.presets import (
+    PredictorConfig,
+    haswell,
+    sandy_bridge,
+    skylake,
+)
+from repro.bpu.selector import SelectorTable
+
+__all__ = [
+    "BimodalPredictor",
+    "BranchIdentificationTable",
+    "BranchTargetBuffer",
+    "Component",
+    "FSMSpec",
+    "GSharePredictor",
+    "GlobalHistoryRegister",
+    "HybridPredictor",
+    "PatternHistoryTable",
+    "Prediction",
+    "PredictorConfig",
+    "SelectorTable",
+    "State",
+    "haswell",
+    "sandy_bridge",
+    "skylake",
+    "skylake_fsm",
+    "textbook_2bit_fsm",
+]

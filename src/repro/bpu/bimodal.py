@@ -1,0 +1,66 @@
+"""1-level (bimodal) predictor (Smith 1981; paper §2).
+
+The bimodal predictor indexes its PHT *directly by the branch address*
+with byte granularity (paper §6.3 measures exactly this), so two branches
+at addresses congruent modulo the table size collide deterministically.
+That determinism is BranchScope's attack surface: the spy places a branch
+at the victim branch's virtual address and shares its PHT entry.
+
+The index function accepts an optional per-context ``key`` so the §10.2
+"randomization of the PHT" mitigation can be layered on without changing
+the predictor itself.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bpu.partition import Partition
+from repro.bpu.pht import PatternHistoryTable
+
+__all__ = ["BimodalPredictor"]
+
+
+class BimodalPredictor:
+    """PC-indexed direction predictor over a :class:`PatternHistoryTable`."""
+
+    def __init__(self, pht: PatternHistoryTable) -> None:
+        self.pht = pht
+
+    def index(
+        self,
+        address: int,
+        key: int = 0,
+        partition: Optional[Partition] = None,
+    ) -> int:
+        """PHT entry used for a branch at ``address``.
+
+        The paper's reverse engineering (§6.3) found byte-granular
+        indexing and a power-of-two table, consistent with a simple
+        modulo.  ``key`` (normally 0) models the §10.2 mitigation that
+        mixes a per-software-entity secret into the index; ``partition``
+        models the §10.2 BPU-partitioning mitigation.
+        """
+        mixed = int(address) ^ int(key)
+        if partition is not None:
+            return partition.confine(mixed)
+        return mixed % self.pht.n_entries
+
+    def predict(
+        self,
+        address: int,
+        key: int = 0,
+        partition: Optional[Partition] = None,
+    ) -> bool:
+        """Direction prediction for the branch at ``address``."""
+        return self.pht.predict(self.index(address, key, partition))
+
+    def update(
+        self,
+        address: int,
+        taken: bool,
+        key: int = 0,
+        partition: Optional[Partition] = None,
+    ) -> None:
+        """Train the entry for ``address`` with an actual outcome."""
+        self.pht.update(self.index(address, key, partition), taken)

@@ -1,0 +1,219 @@
+"""Prediction finite state machines (paper §6.1, Figure 3).
+
+Each pattern history table (PHT) entry is a small saturating-counter FSM
+that produces the taken/not-taken prediction for branches mapping to it.
+The paper reverse-engineers two behaviours:
+
+* Haswell and Sandy Bridge follow the *textbook two-bit counter* with four
+  states — strongly not-taken (SN), weakly not-taken (WN), weakly taken
+  (WT) and strongly taken (ST) — exactly as in Figure 3.
+* Skylake exhibits a quirk (Table 1, footnote 1): after priming a counter
+  to ST and observing one not-taken outcome, probing with two not-taken
+  branches yields *two* mispredictions (``MM``) instead of the textbook
+  miss-then-hit (``MH``).  Equivalently, the taken side of the counter is
+  "sticky" and the ST and WT states are indistinguishable to a two-probe
+  observer.  We model this with a five-level counter whose taken side has
+  one extra level (see :func:`skylake_fsm`); the extra level reproduces
+  every row of Table 1 including the footnote.
+
+An :class:`FSMSpec` is a pure transition-table description, so the PHT can
+store raw integer *levels* in a NumPy array and apply transitions either
+scalar-at-a-time (exact simulation) or vectorised (fast randomisation-block
+application, see :mod:`repro.core.randomizer`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "State",
+    "FSMSpec",
+    "textbook_2bit_fsm",
+    "skylake_fsm",
+]
+
+
+class State(enum.IntEnum):
+    """Architectural (observable) prediction states of a PHT entry.
+
+    These are the four states the paper reasons about (Figure 3).  FSM
+    implementations may use more internal *levels* (e.g. the Skylake
+    model), but every level maps onto one of these public states.
+    """
+
+    SN = 0  #: strongly not-taken
+    WN = 1  #: weakly not-taken
+    WT = 2  #: weakly taken
+    ST = 3  #: strongly taken
+
+    @property
+    def predicts_taken(self) -> bool:
+        """Whether a branch in this state is predicted taken."""
+        return self in (State.WT, State.ST)
+
+    @property
+    def is_strong(self) -> bool:
+        """Whether this is one of the two saturated ("strong") states."""
+        return self in (State.SN, State.ST)
+
+
+@dataclass(frozen=True)
+class FSMSpec:
+    """Transition-table description of a prediction FSM.
+
+    The FSM is a linear saturating counter over ``n_levels`` internal
+    levels.  Level ``i`` predicts taken iff ``predict_taken[i]``; on an
+    actual *taken* outcome the level moves to ``next_on_taken[i]`` and on
+    a *not-taken* outcome to ``next_on_not_taken[i]``.  ``to_public[i]``
+    maps the level to the observable :class:`State`.
+
+    Instances are immutable and shared; all mutable counter storage lives
+    in :class:`repro.bpu.pht.PatternHistoryTable`.
+    """
+
+    name: str
+    n_levels: int
+    predict_taken: Tuple[bool, ...]
+    next_on_taken: Tuple[int, ...]
+    next_on_not_taken: Tuple[int, ...]
+    to_public: Tuple[State, ...]
+    #: Whether ST and WT produce identical two-probe observations (the
+    #: Skylake quirk).  Consumed by the pattern decoder.
+    taken_states_ambiguous: bool = False
+    # Cached NumPy lookup tables, derived in __post_init__.
+    _predict_arr: np.ndarray = field(init=False, repr=False, compare=False)
+    _step_arr: np.ndarray = field(init=False, repr=False, compare=False)
+    _public_arr: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        n = self.n_levels
+        if not (
+            len(self.predict_taken)
+            == len(self.next_on_taken)
+            == len(self.next_on_not_taken)
+            == len(self.to_public)
+            == n
+        ):
+            raise ValueError("FSMSpec tables must all have n_levels entries")
+        for nxt in (*self.next_on_taken, *self.next_on_not_taken):
+            if not 0 <= nxt < n:
+                raise ValueError(f"transition target {nxt} out of range")
+        predict = np.array(self.predict_taken, dtype=bool)
+        # step[outcome, level]: outcome 0 = not-taken, 1 = taken.
+        step = np.array(
+            [self.next_on_not_taken, self.next_on_taken], dtype=np.int8
+        )
+        public = np.array([int(s) for s in self.to_public], dtype=np.int8)
+        object.__setattr__(self, "_predict_arr", predict)
+        object.__setattr__(self, "_step_arr", step)
+        object.__setattr__(self, "_public_arr", public)
+
+    # -- scalar interface ------------------------------------------------
+
+    def predicts(self, level: int) -> bool:
+        """Prediction (taken?) produced by an entry at ``level``."""
+        return bool(self._predict_arr[level])
+
+    def step(self, level: int, taken: bool) -> int:
+        """Next level after observing an actual outcome ``taken``."""
+        return int(self._step_arr[int(taken), level])
+
+    def public_state(self, level: int) -> State:
+        """Observable :class:`State` for an internal level."""
+        return State(int(self._public_arr[level]))
+
+    def level_for(self, state: State) -> int:
+        """A canonical internal level representing ``state``.
+
+        Used when priming an entry to a requested architectural state.
+        When several levels map to the same public state (Skylake's two
+        weak-taken levels) the *lowest* such level is returned, which is
+        the one reachable by the textbook transition sequence.
+        """
+        for level in range(self.n_levels):
+            if self.to_public[level] is state:
+                return level
+        raise ValueError(f"{self.name} has no level for state {state!r}")
+
+    def saturate(self, taken: bool) -> int:
+        """The saturated level reached by many consecutive ``taken`` outcomes."""
+        level = 0
+        for _ in range(self.n_levels + 1):
+            level = self.step(level, taken)
+        return level
+
+    # -- vectorised interface ---------------------------------------------
+
+    def predicts_array(self, levels: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`predicts` over an array of levels."""
+        return self._predict_arr[levels]
+
+    def step_array(self, levels: np.ndarray, taken) -> np.ndarray:
+        """Vectorised :meth:`step`.
+
+        ``taken`` may be a scalar bool or a boolean array broadcastable to
+        ``levels``.
+        """
+        outcome = np.asarray(taken, dtype=np.int8)
+        return self._step_arr[outcome, levels]
+
+    def public_array(self, levels: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`public_state`, as an int8 array of State values."""
+        return self._public_arr[levels]
+
+
+def textbook_2bit_fsm() -> FSMSpec:
+    """The textbook two-bit saturating counter (paper Figure 3).
+
+    Levels 0..3 correspond directly to SN, WN, WT, ST.  Matches observed
+    behaviour on Haswell and Sandy Bridge (Table 1).
+    """
+    return FSMSpec(
+        name="textbook-2bit",
+        n_levels=4,
+        predict_taken=(False, False, True, True),
+        next_on_taken=(1, 2, 3, 3),
+        next_on_not_taken=(0, 0, 1, 2),
+        to_public=(State.SN, State.WN, State.WT, State.ST),
+        taken_states_ambiguous=False,
+    )
+
+
+def skylake_fsm() -> FSMSpec:
+    """Five-level counter modelling the Skylake quirk (Table 1 footnote 1).
+
+    The taken side saturates fast but drains slowly: a taken outcome from
+    WT(2) jumps straight to ST(4), while leaving the taken side takes two
+    not-taken outcomes through a *sticky* intermediate level —
+    ST(4) -> 3 -> WT(2) -> WN(1) -> SN(0).  Consequences, matching the
+    paper exactly (all eight Table 1 rows are checked in
+    ``tests/test_fsm.py``):
+
+    * Prime ``TTT`` saturates (0 -> 1 -> 2 -> 4).  Target ``N`` (-> 3),
+      probe ``NN``: level 3 predicts taken (miss, -> 2), level 2 predicts
+      taken (miss, -> 1) — observation ``MM`` instead of the textbook
+      ``MH`` (footnote 1).
+    * ST and the post-ST weak-taken level are indistinguishable by
+      two-probe observation: from both level 4 and level 3, probe ``NN``
+      yields ``MM`` and probe ``TT`` yields ``HH`` — the paper's "ST and
+      WT states indistinguishable on that processor".
+    * The not-taken side is textbook, so the ``NNN``-prime rows of
+      Table 1 are unchanged and the attack remains possible by priming to
+      SN (paper §6.1: "the attacker can always pick a PHT randomization
+      code that places the target PHT entry into a state without such
+      ambiguity").
+    """
+    return FSMSpec(
+        name="skylake-5level",
+        n_levels=5,
+        predict_taken=(False, False, True, True, True),
+        next_on_taken=(1, 2, 4, 4, 4),
+        next_on_not_taken=(0, 0, 1, 2, 3),
+        to_public=(State.SN, State.WN, State.WT, State.WT, State.ST),
+        taken_states_ambiguous=True,
+    )

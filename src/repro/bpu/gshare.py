@@ -1,0 +1,64 @@
+"""2-level gshare predictor (McFarling 1993; paper §2).
+
+gshare indexes its PHT with the branch address XORed with the global
+history register, so the entry used for a given static branch changes
+with recent control flow.  Two consequences the paper relies on:
+
+* it can learn *irregular but repeating* outcome sequences that defeat a
+  bimodal predictor (the Figure 2 experiment), and
+* its index is effectively unpredictable to an attacker who does not
+  control the victim's branch history, which is why BranchScope forces
+  the selection logic back to the 1-level predictor instead of attacking
+  gshare directly (paper §4, §5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bpu.ghr import GlobalHistoryRegister
+from repro.bpu.partition import Partition
+from repro.bpu.pht import PatternHistoryTable
+
+__all__ = ["GSharePredictor"]
+
+
+class GSharePredictor:
+    """GHR-XOR-PC indexed direction predictor."""
+
+    def __init__(
+        self, pht: PatternHistoryTable, ghr: GlobalHistoryRegister
+    ) -> None:
+        self.pht = pht
+        self.ghr = ghr
+
+    def index(
+        self,
+        address: int,
+        key: int = 0,
+        partition: Optional[Partition] = None,
+    ) -> int:
+        """PHT entry for ``address`` under the *current* global history."""
+        mixed = int(address) ^ self.ghr.value ^ int(key)
+        if partition is not None:
+            return partition.confine(mixed)
+        return mixed % self.pht.n_entries
+
+    def predict(
+        self,
+        address: int,
+        key: int = 0,
+        partition: Optional[Partition] = None,
+    ) -> bool:
+        """Direction prediction for the branch at ``address``."""
+        return self.pht.predict(self.index(address, key, partition))
+
+    def update(self, address: int, taken: bool, key: int = 0) -> None:
+        """Train the entry selected by the current history.
+
+        Note: callers must update the PHT *before* shifting the outcome
+        into the GHR, so that training touches the same entry that
+        produced the prediction.  :class:`repro.bpu.hybrid.HybridPredictor`
+        enforces this ordering.
+        """
+        self.pht.update(self.index(address, key), taken)

@@ -1,0 +1,28 @@
+"""Index-space partition descriptor.
+
+Used by the §10.2 "Partitioning the BPU" mitigation: a process confined
+to a partition indexes only ``size`` PHT entries starting at ``offset``,
+so processes in disjoint partitions cannot create PHT collisions at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Partition"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A contiguous slice of a prediction table's index space."""
+
+    offset: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.size <= 0:
+            raise ValueError("partition must have non-negative offset, positive size")
+
+    def confine(self, raw_index: int) -> int:
+        """Map a full-table index into this partition."""
+        return self.offset + (raw_index % self.size)

@@ -1,0 +1,172 @@
+"""Microarchitecture presets for the three CPUs evaluated in the paper.
+
+The paper runs BranchScope on an i5-6200U (Skylake), i7-4800MQ (Haswell)
+and i7-2600 (Sandy Bridge).  Intel does not document these predictors;
+the presets encode only what the paper establishes or attributes:
+
+* the PHT has 16 384 byte-granular entries on the machine reverse
+  engineered in §6.3 (the Skylake-generation one); we give Haswell the
+  same directional capacity,
+* Sandy Bridge's higher error rates are attributed (§7) to "a larger size
+  of the predictor tables in the improved branch predictor design" of the
+  newer parts — so the Sandy Bridge preset uses smaller tables,
+* Skylake's prediction FSM exhibits the sticky-taken quirk
+  (:func:`repro.bpu.fsm.skylake_fsm`), the others are textbook,
+* Skylake "learn[s] the pattern slightly faster" in Figure 2 — modelled
+  with a slightly longer global history and a larger gshare table.
+
+Everything else (BTB geometry, identification-table size) is a plausible
+stand-in chosen so that the paper's experiments behave as reported; the
+ablation bench ``bench_ablation_predictor_size`` sweeps these parameters
+to show which of them the attack actually depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.bpu.bit import BranchIdentificationTable
+from repro.bpu.btb import BranchTargetBuffer
+from repro.bpu.fsm import FSMSpec, State, skylake_fsm, textbook_2bit_fsm
+from repro.bpu.ghr import GlobalHistoryRegister
+from repro.bpu.hybrid import HybridPredictor
+from repro.bpu.pht import PatternHistoryTable
+from repro.bpu.selector import SelectorTable
+
+__all__ = [
+    "PredictorConfig",
+    "skylake",
+    "haswell",
+    "sandy_bridge",
+    "PRESETS",
+]
+
+
+@dataclass(frozen=True)
+class PredictorConfig:
+    """Complete geometry of one hybrid-predictor instance.
+
+    ``build()`` materialises a fresh :class:`HybridPredictor`; configs are
+    immutable and can be tweaked with :func:`dataclasses.replace` (the
+    ablation benches do this extensively).
+    """
+
+    name: str
+    #: Entries in the 1-level (bimodal) PHT — the table BranchScope maps
+    #: out in §6.3 (16 384 on the measured machine).
+    bimodal_entries: int
+    #: Entries in the gshare PHT.
+    gshare_entries: int
+    #: Global history length in branches.
+    ghr_bits: int
+    #: Entries in the tournament selector table.
+    selector_entries: int
+    #: Initial choice-counter value (low values bias to bimodal; §5.1).
+    selector_initial: int
+    #: Sets in the branch identification ("seen recently") table.
+    bit_sets: int
+    #: Sets in the branch target buffer.
+    btb_sets: int
+    #: Width of the saturating choice counters.
+    selector_bits: int = 3
+    #: Factory for the per-entry prediction FSM.
+    fsm_factory: Callable[[], FSMSpec] = textbook_2bit_fsm
+    #: State every PHT entry powers up in.
+    initial_state: State = State.WN
+
+    def build(self) -> HybridPredictor:
+        """Construct a fresh predictor with this geometry."""
+        fsm = self.fsm_factory()
+        ghr = GlobalHistoryRegister(self.ghr_bits)
+        return HybridPredictor(
+            bimodal_pht=PatternHistoryTable(
+                self.bimodal_entries, fsm, self.initial_state
+            ),
+            gshare_pht=PatternHistoryTable(
+                self.gshare_entries, fsm, self.initial_state
+            ),
+            ghr=ghr,
+            selector=SelectorTable(
+                self.selector_entries,
+                initial_counter=self.selector_initial,
+                counter_bits=self.selector_bits,
+            ),
+            bit=BranchIdentificationTable(self.bit_sets),
+            btb=BranchTargetBuffer(self.btb_sets),
+        )
+
+    @property
+    def fsm(self) -> FSMSpec:
+        """The FSM spec this config uses (fresh instance)."""
+        return self.fsm_factory()
+
+    def scaled(self, factor: int) -> "PredictorConfig":
+        """A copy with every table shrunk by ``factor``.
+
+        Handy for fast unit tests that do not need 16k-entry tables.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return replace(
+            self,
+            name=f"{self.name}/÷{factor}",
+            bimodal_entries=max(4, self.bimodal_entries // factor),
+            gshare_entries=max(4, self.gshare_entries // factor),
+            selector_entries=max(4, self.selector_entries // factor),
+            bit_sets=max(4, self.bit_sets // factor),
+            btb_sets=max(4, self.btb_sets // factor),
+        )
+
+
+def skylake() -> PredictorConfig:
+    """i5-6200U (Skylake) model: big tables, sticky-taken FSM quirk."""
+    return PredictorConfig(
+        name="skylake-i5-6200U",
+        bimodal_entries=16384,
+        gshare_entries=16384,
+        ghr_bits=16,
+        selector_entries=4096,
+        selector_initial=2,
+        bit_sets=2048,
+        btb_sets=4096,
+        fsm_factory=skylake_fsm,
+    )
+
+
+def haswell() -> PredictorConfig:
+    """i7-4800MQ (Haswell) model: big tables, textbook FSM."""
+    return PredictorConfig(
+        name="haswell-i7-4800MQ",
+        bimodal_entries=16384,
+        gshare_entries=16384,
+        ghr_bits=14,
+        selector_entries=4096,
+        selector_initial=1,
+        bit_sets=2048,
+        btb_sets=4096,
+        fsm_factory=textbook_2bit_fsm,
+    )
+
+
+def sandy_bridge() -> PredictorConfig:
+    """i7-2600 (Sandy Bridge) model: smaller tables (hence noisier, Table 2)."""
+    return PredictorConfig(
+        name="sandy-bridge-i7-2600",
+        bimodal_entries=4096,
+        gshare_entries=4096,
+        ghr_bits=12,
+        selector_entries=1024,
+        selector_initial=1,
+        bit_sets=1024,
+        btb_sets=2048,
+        fsm_factory=textbook_2bit_fsm,
+    )
+
+
+#: All paper-evaluated microarchitectures, keyed by the Table 2 labels.
+PRESETS = {
+    "skylake": skylake,
+    "haswell": haswell,
+    "sandy_bridge": sandy_bridge,
+}

@@ -1,0 +1,250 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users one-line access to the headline demos and
+experiments without writing harness code:
+
+.. code-block:: console
+
+    $ python -m repro presets
+    $ python -m repro covert --preset skylake --bits 500 --setting noisy
+    $ python -m repro attack --preset haswell --bits 64
+    $ python -m repro fsm-table --preset skylake
+    $ python -m repro pht-size --preset haswell
+    $ python -m repro poison
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.bpu.presets import PRESETS
+from repro.cpu import PhysicalCore, Process
+from repro.system.scheduler import NoiseSetting
+
+__all__ = ["main", "build_parser"]
+
+_SETTINGS = {
+    "isolated": NoiseSetting.ISOLATED,
+    "noisy": NoiseSetting.NOISY,
+    "quiesced": NoiseSetting.QUIESCED,
+    "silent": NoiseSetting.SILENT,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI's argument parser (exposed for testing/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "BranchScope (ASPLOS'18) reproduction on a simulated branch "
+            "predictor"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("presets", help="list the modelled microarchitectures")
+
+    covert = sub.add_parser(
+        "covert", help="run the §7 covert channel and report the error rate"
+    )
+    covert.add_argument("--preset", choices=PRESETS, default="skylake")
+    covert.add_argument("--setting", choices=_SETTINGS, default="isolated")
+    covert.add_argument("--bits", type=int, default=500)
+    covert.add_argument("--seed", type=int, default=42)
+
+    attack = sub.add_parser(
+        "attack", help="spy on a secret-bit-array victim (Listing 2)"
+    )
+    attack.add_argument("--preset", choices=PRESETS, default="skylake")
+    attack.add_argument("--setting", choices=_SETTINGS, default="isolated")
+    attack.add_argument("--bits", type=int, default=64)
+    attack.add_argument("--seed", type=int, default=42)
+
+    fsm = sub.add_parser(
+        "fsm-table", help="regenerate Table 1 for one microarchitecture"
+    )
+    fsm.add_argument("--preset", choices=PRESETS, default="skylake")
+
+    pht = sub.add_parser(
+        "pht-size", help="recover the PHT size via §6.3's Hamming analysis"
+    )
+    pht.add_argument("--preset", choices=PRESETS, default="haswell")
+    pht.add_argument("--seed", type=int, default=8)
+
+    poison = sub.add_parser(
+        "poison", help="measure Spectre-style branch poisoning control"
+    )
+    poison.add_argument("--preset", choices=PRESETS, default="skylake")
+    poison.add_argument("--rounds", type=int, default=300)
+
+    return parser
+
+
+def _cmd_presets(args) -> int:
+    rows = []
+    for name, factory in PRESETS.items():
+        config = factory()
+        rows.append(
+            [
+                name,
+                config.name,
+                config.bimodal_entries,
+                config.gshare_entries,
+                config.ghr_bits,
+                config.fsm.name,
+            ]
+        )
+    print(
+        format_table(
+            ["preset", "models", "PHT", "gshare", "GHR bits", "FSM"],
+            rows,
+            title="Modelled microarchitectures (paper §5)",
+        )
+    )
+    return 0
+
+
+def _cmd_covert(args) -> int:
+    from repro.core.covert import CovertChannel, error_rate
+
+    core = PhysicalCore(PRESETS[args.preset](), seed=args.seed)
+    channel = CovertChannel.for_processes(
+        core,
+        Process("trojan"),
+        Process("spy"),
+        setting=_SETTINGS[args.setting],
+    )
+    bits = np.random.default_rng(args.seed).integers(0, 2, args.bits).tolist()
+    received = channel.transmit(bits)
+    rate = error_rate(bits, received)
+    print(
+        f"{args.preset} / {args.setting}: transmitted {args.bits} bits, "
+        f"error rate {rate:.2%}"
+    )
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    from repro.core.attack import BranchScope
+    from repro.victims import SecretBitArrayVictim
+
+    core = PhysicalCore(PRESETS[args.preset](), seed=args.seed)
+    secret = (
+        np.random.default_rng(args.seed).integers(0, 2, args.bits).tolist()
+    )
+    victim = SecretBitArrayVictim(secret)
+    attack = BranchScope(
+        core,
+        Process("spy"),
+        victim.branch_address,
+        setting=_SETTINGS[args.setting],
+    )
+    recovered = [
+        int(b)
+        for b in attack.spy_on_bits(
+            lambda: victim.execute_next(core), args.bits
+        )
+    ]
+    correct = sum(1 for a, b in zip(secret, recovered) if a == b)
+    print(f"secret    : {''.join(map(str, secret))}")
+    print(f"recovered : {''.join(map(str, recovered))}")
+    print(f"{correct}/{args.bits} bits correct")
+    return 0
+
+
+def _cmd_fsm_table(args) -> int:
+    from repro.core.prime_probe import probe_pair
+
+    core = PhysicalCore(PRESETS[args.preset](), seed=4)
+    process = Process("experimenter")
+    address = 0x30_0006D
+    rows = []
+    for prime in ("TTT", "NNN"):
+        for target in ("T", "N"):
+            for probe in ("TT", "NN"):
+                core.predictor.bit.evict(address)
+                core.predictor.bimodal.pht.set_state(
+                    core.predictor.bimodal.index(address),
+                    core.predictor.bimodal.pht.fsm.public_state(0),
+                )
+                for ch in prime + target:
+                    core.execute_branch(process, address, ch == "T")
+                core.predictor.bit.evict(address)
+                pattern = probe_pair(
+                    core, process, address, [c == "T" for c in probe]
+                ).pattern
+                rows.append([prime, target, probe, pattern])
+    print(
+        format_table(
+            ["prime", "target", "probe", "observation"],
+            rows,
+            title=f"Table 1 observations on {args.preset}",
+        )
+    )
+    return 0
+
+
+def _cmd_pht_size(args) -> int:
+    from repro.core.pht_map import estimate_pht_size, scan_states
+    from repro.core.randomizer import RandomizationBlock
+
+    core = PhysicalCore(PRESETS[args.preset](), seed=args.seed)
+    spy = Process("mapper")
+    block = RandomizationBlock.generate(11, n_branches=100_000)
+    compiled = block.compile(core, spy)
+    scan = 2 * core.predictor.bimodal.pht.n_entries
+    states = scan_states(
+        core, spy, list(range(0x300000, 0x300000 + scan)), compiled
+    )
+    windows = [1 << k for k in range(8, scan.bit_length() - 1)]
+    estimate = estimate_pht_size(states, windows=windows)
+    print(
+        f"{args.preset}: recovered PHT size {estimate} entries "
+        f"(ground truth {core.predictor.bimodal.pht.n_entries})"
+    )
+    return 0
+
+
+def _cmd_poison(args) -> int:
+    from repro.core.poisoning import poisoning_experiment
+
+    core = PhysicalCore(PRESETS[args.preset](), seed=17)
+    result = poisoning_experiment(
+        core,
+        Process("attacker"),
+        Process("victim"),
+        0x40_1A30,
+        victim_direction=True,
+        rounds=args.rounds,
+    )
+    print(
+        f"victim mispredictions: baseline "
+        f"{result.baseline_misprediction_rate:.1%}, poisoned "
+        f"{result.poisoned_misprediction_rate:.1%}"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "presets": _cmd_presets,
+    "covert": _cmd_covert,
+    "attack": _cmd_attack,
+    "fsm-table": _cmd_fsm_table,
+    "pht-size": _cmd_pht_size,
+    "poison": _cmd_poison,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,190 @@
+"""Prior-work BTB attacks (paper §11), for comparison with BranchScope.
+
+The earlier branch-predictor side channels all target the *branch target
+buffer*: a taken branch installs its target into a direct-mapped,
+tagged BTB set, evicting whatever lived there, and a branch whose BTB
+entry was evicted pays a late front-end redirect on its next taken
+execution.  Two classic primitives built on that:
+
+* **direction inference** (Acıiçmez et al.'s eviction attack, refined by
+  Lee et al.'s branch shadowing): the spy installs its own entry in the
+  BTB set the victim's branch maps to and times its own branch after the
+  victim runs — slow means the victim's branch executed *taken* (it
+  allocated, evicting the spy), fast means not-taken.
+* **Jump over ASLR** (Evtyushkin et al.): scanning candidate sets for
+  such evictions reveals *where* the victim's taken branches live,
+  modulo the number of BTB sets.
+
+These are implemented here so the repository can demonstrate the paper's
+first contribution claim: flushing/partitioning the BTB (see
+:class:`repro.mitigations.btb_defense.BtbFlushOnContextSwitch`) defeats
+both primitives while BranchScope — which never reads the BTB — keeps
+working (`bench_btb_vs_branchscope`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cpu.core import PhysicalCore
+from repro.cpu.process import Process
+from repro.system.scheduler import AttackScheduler, NoiseSetting
+
+__all__ = [
+    "BtbTimingCalibration",
+    "calibrate_btb_threshold",
+    "btb_direction_spy",
+    "btb_locate_branch",
+]
+
+
+@dataclass(frozen=True)
+class BtbTimingCalibration:
+    """Latency threshold separating BTB-hit from BTB-miss executions."""
+
+    hit_mean: float
+    miss_mean: float
+    threshold: float
+
+    def is_btb_miss(self, latency: float) -> bool:
+        """Classify a (possibly averaged) taken-branch latency."""
+        return latency >= self.threshold
+
+
+def _train_direction(
+    core: PhysicalCore, spy: Process, address: int, repeats: int = 4
+) -> None:
+    """Saturate the direction predictor so probe latency isolates the BTB."""
+    for _ in range(repeats):
+        core.execute_branch(spy, address, True)
+
+
+def calibrate_btb_threshold(
+    core: PhysicalCore,
+    spy: Process,
+    *,
+    scratch_address: int = 0x7_2000_0001,
+    samples: int = 400,
+) -> BtbTimingCalibration:
+    """Attacker-side calibration of the BTB-miss latency signature.
+
+    The spy times its own taken branch in two self-made conditions: BTB
+    entry present (it just executed) and BTB entry evicted (the spy ran
+    a conflicting taken branch in the same set).  Entirely attacker-
+    legal, like :func:`repro.core.timing_detect.calibrate_timing`.
+    """
+    n_sets = core.predictor.btb.n_sets
+    conflict = scratch_address + n_sets  # same set, different tag
+    _train_direction(core, spy, scratch_address)
+    _train_direction(core, spy, conflict)
+
+    hits = np.empty(samples, dtype=np.int64)
+    misses = np.empty(samples, dtype=np.int64)
+    for i in range(samples):
+        core.execute_branch(spy, scratch_address, True)  # install
+        hits[i] = core.execute_branch(spy, scratch_address, True).latency
+        core.execute_branch(spy, conflict, True)  # evict via conflict
+        misses[i] = core.execute_branch(spy, scratch_address, True).latency
+    hit_mean = float(hits.mean())
+    miss_mean = float(misses.mean())
+    return BtbTimingCalibration(
+        hit_mean=hit_mean,
+        miss_mean=miss_mean,
+        threshold=(hit_mean + miss_mean) / 2.0,
+    )
+
+
+def btb_direction_spy(
+    core: PhysicalCore,
+    spy: Process,
+    victim_branch_address: int,
+    trigger: Callable[[], None],
+    calibration: BtbTimingCalibration,
+    *,
+    trials: int = 8,
+    scheduler: Optional[AttackScheduler] = None,
+) -> bool:
+    """Infer one victim branch direction through BTB evictions.
+
+    The spy's probe branch lives at ``victim_address + n_sets``: same
+    BTB set, different tag, and (because the directional PHT is larger
+    than the BTB) a different PHT entry, so the measurement is purely a
+    target-buffer effect.  Each trial installs the spy's entry, lets the
+    victim execute once, and times the spy's next taken execution; the
+    averaged first-probe latency is classified against the calibration.
+
+    Returns True when the victim's branch is inferred *taken*.  Each
+    trial consumes one ``trigger`` invocation, so ``trials`` consecutive
+    victim executions must take the same direction (the same requirement
+    the prior work has).
+    """
+    scheduler = scheduler or AttackScheduler(core, NoiseSetting.ISOLATED)
+    probe_address = victim_branch_address + core.predictor.btb.n_sets
+    _train_direction(core, spy, probe_address)
+    latencies = np.empty(trials, dtype=np.int64)
+    for i in range(trials):
+        core.execute_branch(spy, probe_address, True)  # install entry
+        scheduler.stage_gap()
+        scheduler.victim_turn(trigger)
+        scheduler.stage_gap()
+        latencies[i] = core.execute_branch(spy, probe_address, True).latency
+    return calibration.is_btb_miss(float(latencies.mean()))
+
+
+@dataclass(frozen=True)
+class BtbCandidateScore:
+    """Eviction evidence for one candidate BTB set."""
+
+    candidate_address: int
+    mean_latency: float
+    evicted: bool
+
+
+def btb_locate_branch(
+    core: PhysicalCore,
+    spy: Process,
+    trigger: Callable[[], None],
+    candidate_addresses: Sequence[int],
+    calibration: BtbTimingCalibration,
+    *,
+    trials: int = 6,
+    scheduler: Optional[AttackScheduler] = None,
+) -> List[BtbCandidateScore]:
+    """Jump-over-ASLR: find which BTB set the victim's taken branch hits.
+
+    For each candidate congruence class (mod BTB sets), measure eviction
+    evidence as in :func:`btb_direction_spy`.  Returns scores sorted by
+    mean latency descending — the victim's class should top the list.
+    """
+    scheduler = scheduler or AttackScheduler(core, NoiseSetting.ISOLATED)
+    n_sets = core.predictor.btb.n_sets
+    seen = set()
+    scores: List[BtbCandidateScore] = []
+    for candidate in candidate_addresses:
+        congruence = int(candidate) % n_sets
+        if congruence in seen:
+            continue
+        seen.add(congruence)
+        probe_address = int(candidate) + n_sets
+        _train_direction(core, spy, probe_address)
+        latencies = np.empty(trials, dtype=np.int64)
+        for i in range(trials):
+            core.execute_branch(spy, probe_address, True)
+            scheduler.stage_gap()
+            scheduler.victim_turn(trigger)
+            scheduler.stage_gap()
+            latencies[i] = core.execute_branch(
+                spy, probe_address, True
+            ).latency
+        mean_latency = float(latencies.mean())
+        scores.append(
+            BtbCandidateScore(
+                candidate_address=int(candidate),
+                mean_latency=mean_latency,
+                evicted=calibration.is_btb_miss(mean_latency),
+            )
+        )
+    return sorted(scores, key=lambda s: s.mean_latency, reverse=True)

@@ -1,0 +1,222 @@
+"""Pre-attack calibration: choosing the randomisation block (paper §6.2).
+
+The attacker cannot set a PHT entry directly — the randomisation block
+rewrites the whole table.  But a block's effect on a given entry is
+reproducible, so the attacker generates candidate blocks and keeps one
+that (a) leaves the *target* entry in the desired state and (b) does so
+*stably* under system noise.  The paper's stability experiment (10 000
+candidate blocks x 1000 probes each, Figure 4) defines the methodology:
+
+* for each candidate block, repeatedly execute the block and probe the
+  target address, separately with ``TT`` and ``NN`` probe variants;
+* a block is *stable* if the most frequent probe pattern occurs at least
+  85% of the time for **both** variants;
+* stable pattern pairs decode to a PHT state via the Table 1 dictionary;
+  anything else is ``unknown`` (too noisy) — and an always-``HH``/``HH``
+  signature is ``dirty`` (2-level predictor interference).
+
+"Finding the appropriate randomization code is a one-time effort by the
+attacker and can be performed during the pre-attack stage.  This is a
+key element of BranchScope."
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.patterns import DecodedState, decode_state
+from repro.core.prime_probe import probe_pair
+from repro.core.randomizer import (
+    PAPER_BLOCK_BRANCHES,
+    CompiledBlock,
+    RandomizationBlock,
+)
+from repro.cpu.core import PhysicalCore
+from repro.cpu.process import Process
+from repro.system.noise import NoiseModel, inject_noise
+
+__all__ = [
+    "BlockAssessment",
+    "CalibrationError",
+    "assess_block",
+    "find_block",
+    "stability_experiment",
+]
+
+#: Paper §6.2: "the most frequent prediction pattern in both variations
+#: of the probing code occurs more than 85% of the time".
+STABILITY_THRESHOLD = 0.85
+
+
+class CalibrationError(RuntimeError):
+    """No candidate block produced the requested stable state."""
+
+
+@dataclass(frozen=True)
+class BlockAssessment:
+    """Stability statistics of one candidate block at one target address."""
+
+    seed: int
+    #: Most frequent TT-probe pattern and its relative frequency.
+    tt_pattern: str
+    tt_frequency: float
+    #: Most frequent NN-probe pattern and its relative frequency.
+    nn_pattern: str
+    nn_frequency: float
+
+    @property
+    def stable(self) -> bool:
+        """Paper's stability criterion: both dominant patterns >= 85%."""
+        return (
+            self.tt_frequency >= STABILITY_THRESHOLD
+            and self.nn_frequency >= STABILITY_THRESHOLD
+        )
+
+    def decoded(self, fsm) -> DecodedState:
+        """State implied by the dominant patterns (UNKNOWN if unstable)."""
+        if not self.stable:
+            return DecodedState.UNKNOWN
+        return decode_state(fsm, self.tt_pattern, self.nn_pattern)
+
+
+def _dominant(patterns: Sequence[str]) -> tuple:
+    counts = Counter(patterns)
+    pattern, count = counts.most_common(1)[0]
+    return pattern, count / len(patterns)
+
+
+def assess_block(
+    core: PhysicalCore,
+    spy: Process,
+    compiled: CompiledBlock,
+    target_address: int,
+    *,
+    repetitions: int = 100,
+    noise: Optional[NoiseModel] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> BlockAssessment:
+    """Measure a block's probe-pattern stability at ``target_address``.
+
+    Each repetition first *scrambles* the target entry to a random level
+    (by executing the spy's own branch at the target address with random
+    outcomes — during an attack the entry's pre-block state is whatever
+    the victim and earlier probes left behind, so a usable block must pin
+    the entry regardless), then applies the block, lets the configured
+    system noise hit the BPU, and probes.  TT and NN variants are
+    measured in separate repetitions (each must start from a freshly
+    prepared state).  The surrounding core state is checkpointed and
+    restored.
+    """
+    rng = rng if rng is not None else core.rng
+    noise = noise if noise is not None else NoiseModel.isolated()
+    fsm = core.predictor.bimodal.pht.fsm
+    checkpoint = core.checkpoint()
+    observations = {}
+    for outcomes in ((True, True), (False, False)):
+        patterns: List[str] = []
+        for _ in range(repetitions):
+            for taken in rng.integers(0, 2, size=fsm.n_levels):
+                core.execute_branch(spy, target_address, bool(taken))
+            compiled.apply(core, spy)
+            inject_noise(core, noise.gap_branches(rng), rng)
+            patterns.append(
+                probe_pair(core, spy, target_address, outcomes).pattern
+            )
+        observations[outcomes] = _dominant(patterns)
+    core.restore(checkpoint)
+    tt_pattern, tt_freq = observations[(True, True)]
+    nn_pattern, nn_freq = observations[(False, False)]
+    return BlockAssessment(
+        seed=compiled.block.seed,
+        tt_pattern=tt_pattern,
+        tt_frequency=tt_freq,
+        nn_pattern=nn_pattern,
+        nn_frequency=nn_freq,
+    )
+
+
+def find_block(
+    core: PhysicalCore,
+    spy: Process,
+    target_address: int,
+    desired_state: DecodedState,
+    *,
+    block_branches: int = PAPER_BLOCK_BRANCHES,
+    repetitions: int = 60,
+    max_candidates: int = 64,
+    noise: Optional[NoiseModel] = None,
+    seed_start: int = 0,
+    rng: Optional[np.random.Generator] = None,
+) -> CompiledBlock:
+    """Search candidate blocks until one stably yields ``desired_state``.
+
+    "The attacker can randomly generate the blocks of code that randomize
+    the PHT until the block is found that leaves the target PHT entry in
+    the desired state" (§6.2).  Candidates whose transition-map row does
+    not *pin* the target entry to the desired state are discarded with a
+    cheap analytical check before the full stability assessment runs.
+    Raises :class:`CalibrationError` after ``max_candidates`` failures.
+    """
+    fsm = core.predictor.bimodal.pht.fsm
+    for seed in range(seed_start, seed_start + max_candidates):
+        block = RandomizationBlock.generate(seed, n_branches=block_branches)
+        row = block.entry_fold(core, spy, target_address)
+        if not (row == row[0]).all():
+            continue
+        if fsm.public_state(int(row[0])).name != desired_state.value:
+            continue
+        compiled = block.compile(core, spy)
+        assessment = assess_block(
+            core,
+            spy,
+            compiled,
+            target_address,
+            repetitions=repetitions,
+            noise=noise,
+            rng=rng,
+        )
+        if assessment.stable and assessment.decoded(fsm) is desired_state:
+            return compiled
+    raise CalibrationError(
+        f"no stable block for {desired_state} at {target_address:#x} "
+        f"in {max_candidates} candidates"
+    )
+
+
+def stability_experiment(
+    core_factory: Callable[[], PhysicalCore],
+    target_address: int,
+    *,
+    n_blocks: int = 400,
+    block_branches: int = 20_000,
+    repetitions: int = 100,
+    noise: Optional[NoiseModel] = None,
+    seed_start: int = 0,
+) -> List[BlockAssessment]:
+    """The Figure 4 experiment: stability scatter over many random blocks.
+
+    Scaled down from the paper's 10 000 blocks x 1000 probes by default;
+    the bench passes its own sizes.  A fresh core per candidate keeps
+    candidates independent, as the paper's iterations are.
+    """
+    assessments = []
+    spy = Process("stability-spy")
+    for seed in range(seed_start, seed_start + n_blocks):
+        core = core_factory()
+        block = RandomizationBlock.generate(seed, n_branches=block_branches)
+        compiled = block.compile(core, spy)
+        assessments.append(
+            assess_block(
+                core,
+                spy,
+                compiled,
+                target_address,
+                repetitions=repetitions,
+                noise=noise,
+            )
+        )
+    return assessments

@@ -1,0 +1,140 @@
+"""PHT reverse engineering (paper §6.3, Figure 5, Equations 1-4).
+
+Knowing PHT entry states for a *range* of addresses lets the attacker spy
+on several victim branches per episode and reverse-engineer the table
+itself.  The paper's method:
+
+1. Execute the randomisation code to set the PHTs to a block-specific
+   pattern.
+2. Place a branch at each virtual address in a range and execute it.
+3. Decode the PHT state behind each address with the two-variant probe
+   dictionary, producing a state vector ``V`` (Equation 1).
+4. Exploit the fact that a modulo index makes the state pattern repeat
+   with period equal to the table size: for each window size ``w``,
+   split ``V`` into ``w``-sized subvectors (Equation 2) and compute the
+   mean pairwise Hamming distance (Equation 3, sampled over random pairs
+   for speed, as the paper does with "100 random permutations").  The
+   window minimising the distance/size ratio is the PHT size
+   (Equation 4); on the paper's machine the minimum lands at
+   ``w = 2^14 = 16384`` entries.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.patterns import DecodedState, decode_state
+from repro.core.prime_probe import probe_pair
+from repro.core.randomizer import CompiledBlock
+from repro.cpu.core import PhysicalCore
+from repro.cpu.process import Process
+
+__all__ = [
+    "scan_states",
+    "hamming_ratio_curve",
+    "estimate_pht_size",
+]
+
+
+def scan_states(
+    core: PhysicalCore,
+    spy: Process,
+    addresses: Sequence[int],
+    compiled_block: CompiledBlock,
+    *,
+    exercise_outcome: Optional[bool] = None,
+) -> List[DecodedState]:
+    """Decode the PHT state behind every address in ``addresses``.
+
+    Implements §6.3's scan.  The randomisation block is applied once and
+    the resulting microarchitectural state checkpointed; because probing
+    is destructive, each address's TT and NN probe variants run against a
+    restored copy of that state.  If ``exercise_outcome`` is given, a
+    branch is first placed and executed once at every address (the
+    paper's step 2) before the checkpoint is taken.
+    """
+    checkpoint = core.checkpoint()
+    compiled_block.apply(core, spy)
+    if exercise_outcome is not None:
+        for address in addresses:
+            core.execute_branch(spy, int(address), bool(exercise_outcome))
+    prepared = core.checkpoint()
+    fsm = core.predictor.bimodal.pht.fsm
+
+    states: List[DecodedState] = []
+    for address in addresses:
+        tt = probe_pair(core, spy, int(address), (True, True)).pattern
+        core.restore(prepared)
+        nn = probe_pair(core, spy, int(address), (False, False)).pattern
+        core.restore(prepared)
+        states.append(decode_state(fsm, tt, nn))
+    core.restore(checkpoint)
+    return states
+
+
+def _encode(states: Sequence[DecodedState]) -> np.ndarray:
+    codes = {state: i for i, state in enumerate(DecodedState)}
+    return np.array([codes[s] for s in states], dtype=np.int8)
+
+
+def hamming_ratio_curve(
+    states: Sequence[DecodedState],
+    windows: Iterable[int],
+    *,
+    rng: Optional[np.random.Generator] = None,
+    max_pairs: int = 100,
+) -> Dict[int, float]:
+    """Mean pairwise Hamming distance / window size, per window size.
+
+    Equation 3's ``H(w)`` computed over at most ``max_pairs`` random
+    subvector pairs (all pairs when fewer exist), divided by ``w`` so
+    window sizes are comparable (the ratio the paper plots in Figure 5b).
+    Windows that do not fit at least two subvectors are skipped.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    encoded = _encode(states)
+    curve: Dict[int, float] = {}
+    for w in windows:
+        w = int(w)
+        n_sub = len(encoded) // w
+        if w < 1 or n_sub < 2:
+            continue
+        subvectors = encoded[: n_sub * w].reshape(n_sub, w)
+        all_pairs = list(combinations(range(n_sub), 2))
+        if len(all_pairs) > max_pairs:
+            chosen = rng.choice(len(all_pairs), size=max_pairs, replace=False)
+            pairs = [all_pairs[i] for i in chosen]
+        else:
+            pairs = all_pairs
+        distances = [
+            int((subvectors[a] != subvectors[b]).sum()) for a, b in pairs
+        ]
+        curve[w] = float(np.mean(distances)) / w
+    return curve
+
+
+def estimate_pht_size(
+    states: Sequence[DecodedState],
+    *,
+    windows: Optional[Iterable[int]] = None,
+    rng: Optional[np.random.Generator] = None,
+    max_pairs: int = 100,
+) -> int:
+    """Equation 4: the window size minimising the Hamming ratio.
+
+    Defaults to testing every window from 2 to half the scan length.  On
+    ties or multiple local minima the smallest window wins, per the
+    paper ("the value with lowest value of w is selected").
+    """
+    if windows is None:
+        windows = range(2, len(states) // 2 + 1)
+    curve = hamming_ratio_curve(
+        states, windows, rng=rng, max_pairs=max_pairs
+    )
+    if not curve:
+        raise ValueError("scan too short for any window size")
+    best_ratio = min(curve.values())
+    return min(w for w, ratio in curve.items() if ratio == best_ratio)

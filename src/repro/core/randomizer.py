@@ -1,0 +1,326 @@
+"""PHT randomisation block — Listing 1 and paper §5.2/§6.2.
+
+The attacker's stage-1 tool is a long, one-time-generated block of
+conditional branches with randomly chosen directions and NOP-jittered
+addresses.  Executing it:
+
+* drives most PHT entries to a block-specific state (priming),
+* evicts the victim's branch from the BPU's recent-branch state, forcing
+  it back into 1-level mode (§5.2), and
+* destroys any useful 2-level history (random pattern, random GHR).
+
+The paper found 100 000 branches sufficient; the block-size ablation
+bench sweeps this (smaller blocks rarely *pin* the target entry — their
+effect on it depends on its prior level — which is exactly why the paper
+needs so many branches).  Directions and placements are randomised
+**once** at generation time ("the outcome patterns are randomized only
+once (when the block is generated) and are not re-randomized during
+execution"), which is what makes a block's effect on a given PHT entry
+reproducible — the property the §6.2 calibration search exploits.
+
+Fast path
+---------
+A covert-channel run executes the block once per transmitted bit; at
+100k simulated branches per bit that is infeasible in pure Python, so
+:meth:`RandomizationBlock.compile` precomputes the block's effect
+analytically.  No simulation is required because every block branch sits
+at a unique, fresh address and therefore executes *cold* (it always
+misses the branch identification table):
+
+* **bimodal PHT** (the attack's observable): an exact per-entry
+  *transition map* ``final_level = map[entry, initial_level]`` — folding
+  the block's per-entry outcome subsequence through the FSM is exact for
+  any starting PHT contents;
+* **gshare PHT**: the same fold, using the block's GHR trajectory, which
+  is fully determined by the block's own outcomes after the first
+  ``ghr_bits`` branches (the fold assumes an all-zero initial history,
+  so at most ``ghr_bits`` of the 100k updates land on a different entry
+  than an exact run — quantified in ``tests/test_randomizer.py``);
+* **selector**: every touched entry is *reset* to the initial bias
+  (cold-branch allocation semantics — see
+  :meth:`repro.bpu.selector.SelectorTable.reset_entry`);
+* **identification table**: block tags are inserted in program order
+  (last write per set wins);
+* **GHR**: the block's final ``ghr_bits`` outcomes;
+* **clock / spy counters**: charged a deterministic per-branch estimate
+  (cold fetch + ~50% mispredictions); only counter *deltas* around probe
+  branches are ever read, so absolute drift is unobservable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cpu.core import BranchExecution, PhysicalCore
+from repro.cpu.counters import CounterKind
+from repro.cpu.process import Process
+
+__all__ = ["RandomizationBlock", "CompiledBlock", "PAPER_BLOCK_BRANCHES"]
+
+#: Default virtual address the generated block is "linked" at — an
+#: otherwise unused region of the spy's address space.
+DEFAULT_BLOCK_BASE = 0x10000000
+
+#: Paper §5.2: "executing 100,000 branch instructions is sufficient".
+PAPER_BLOCK_BRANCHES = 100_000
+
+
+@dataclass(frozen=True)
+class RandomizationBlock:
+    """An immutable, reproducible block of randomised branches."""
+
+    #: Seed that generated this block (the attacker's "block identity"
+    #: during the §6.2 calibration search).
+    seed: int
+    #: Virtual addresses of the branch instructions, in program order.
+    addresses: np.ndarray
+    #: Branch directions, in program order (True = taken).
+    outcomes: np.ndarray
+
+    @staticmethod
+    def generate(
+        seed: int,
+        n_branches: int = PAPER_BLOCK_BRANCHES,
+        base_address: int = DEFAULT_BLOCK_BASE,
+    ) -> "RandomizationBlock":
+        """Generate a block per Listing 1.
+
+        Each ``je``/``jne`` is two bytes; a NOP is inserted (or not)
+        between consecutive branches at random, so the address step is 2
+        or 3 bytes ("randomizing memory locations of these instructions
+        by either placing or not placing a NOP instruction between
+        them").  Directions are uniform random with no inter-branch
+        dependencies.
+        """
+        if n_branches <= 0:
+            raise ValueError("block needs at least one branch")
+        rng = np.random.default_rng(seed)
+        steps = rng.integers(2, 4, size=n_branches)
+        steps[0] = 0
+        addresses = base_address + np.cumsum(steps)
+        outcomes = rng.integers(0, 2, size=n_branches).astype(bool)
+        return RandomizationBlock(
+            seed=seed, addresses=addresses, outcomes=outcomes
+        )
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    # -- exact path -----------------------------------------------------------
+
+    def execute(
+        self, core: PhysicalCore, process: Process
+    ) -> List[BranchExecution]:
+        """Execute every branch through the full core model (exact, slow)."""
+        return [
+            core.execute_branch(process, int(address), bool(taken))
+            for address, taken in zip(self.addresses, self.outcomes)
+        ]
+
+    # -- fast path ------------------------------------------------------------
+
+    def ghr_trajectory(self, ghr_bits: int) -> np.ndarray:
+        """GHR value seen by each branch, assuming all-zero initial history.
+
+        ``trajectory[i]`` is the register contents when branch ``i``
+        predicts — i.e. the outcomes of branches ``i-ghr_bits .. i-1``.
+        """
+        n = len(self.outcomes)
+        trajectory = np.zeros(n, dtype=np.int64)
+        mask = (1 << ghr_bits) - 1
+        value = 0
+        for i in range(n):
+            trajectory[i] = value
+            value = ((value << 1) | int(self.outcomes[i])) & mask
+        return trajectory
+
+    def _mapped_indices(
+        self, key: int, partition, n_entries: int, xor: int = 0
+    ) -> np.ndarray:
+        """Vectorised PHT indices for every block branch."""
+        mixed = self.addresses ^ xor ^ key
+        if partition is not None:
+            return (partition.offset + (mixed % partition.size)).astype(
+                np.int64
+            )
+        return (mixed % n_entries).astype(np.int64)
+
+    def entry_fold(
+        self, core: PhysicalCore, process: Process, address: int
+    ) -> np.ndarray:
+        """Fast per-entry fold: the transition-map row for one address.
+
+        Element ``i`` of the result is the bimodal entry's final level if
+        it entered the block at level ``i``.  Used by the calibration
+        search to discard non-pinning candidate blocks without paying for
+        a full :meth:`compile`.
+        """
+        key = core.mitigations.pht_key(process)
+        partition = core.mitigations.partition(process)
+        predictor = core.predictor
+        fsm = predictor.bimodal.pht.fsm
+        n_entries = predictor.bimodal.pht.n_entries
+        target = predictor.bimodal.index(address, key, partition)
+        indices = self._mapped_indices(key, partition, n_entries)
+        row = np.arange(fsm.n_levels, dtype=np.int8)
+        for out in self.outcomes[indices == target].astype(np.int8):
+            row = fsm._step_arr[out, row]
+        return row
+
+    def compile(self, core: PhysicalCore, process: Process) -> "CompiledBlock":
+        """Precompute this block's effect on ``core`` for ``process``.
+
+        The result is bound to the core's geometry and the process's
+        mitigation view (index key / partition); see the module docstring
+        for what is exact and what is approximate.
+        """
+        key = core.mitigations.pht_key(process)
+        partition = core.mitigations.partition(process)
+        predictor = core.predictor
+        fsm = predictor.bimodal.pht.fsm
+        step_table = fsm._step_arr
+
+        bimodal_indices = self._mapped_indices(
+            key, partition, predictor.bimodal.pht.n_entries
+        )
+        bimodal_map = self._fold_map(
+            bimodal_indices,
+            predictor.bimodal.pht.n_entries,
+            fsm.n_levels,
+            step_table,
+        )
+
+        ghr_bits = predictor.ghr.length
+        trajectory = self.ghr_trajectory(ghr_bits)
+        gshare_n = predictor.gshare.pht.n_entries
+        mixed = self.addresses ^ trajectory ^ key
+        if partition is None:
+            gshare_indices = (mixed % gshare_n).astype(np.int64)
+        else:
+            gshare_indices = (
+                partition.offset + (mixed % partition.size)
+            ).astype(np.int64)
+        gshare_map = self._fold_map(
+            gshare_indices, gshare_n, fsm.n_levels, step_table
+        )
+
+        # Final GHR = the block's last ghr_bits outcomes.
+        final_ghr = 0
+        for out in self.outcomes[-ghr_bits:]:
+            final_ghr = ((final_ghr << 1) | int(out)) & ((1 << ghr_bits) - 1)
+
+        selector = predictor.selector
+        selector_touched = np.unique(self.addresses % selector.n_entries)
+
+        bit_table = predictor.bit
+        bit_sets = (self.addresses % bit_table.n_sets).astype(np.int64)
+        bit_tags = (
+            (self.addresses // bit_table.n_sets) & bit_table._tag_mask
+        ).astype(np.int64)
+
+        # Deterministic cost estimate: every block branch fetches cold
+        # and ~half mispredict (random outcomes vs. randomised PHT).
+        timing = core.timing
+        per_branch = (
+            timing.base_latency
+            + timing.cold_penalty
+            + 0.5 * timing.miss_penalty
+            + 0.5 * timing.taken_extra
+        )
+        n = len(self)
+        return CompiledBlock(
+            block=self,
+            config_name=core.config.name,
+            key=key,
+            partition=partition,
+            bimodal_map=bimodal_map,
+            gshare_map=gshare_map,
+            selector_touched=selector_touched,
+            bit_sets=bit_sets,
+            bit_tags=bit_tags,
+            ghr_end=final_ghr,
+            cycles=int(n * per_branch),
+            mispredictions=n // 2,
+        )
+
+    def _fold_map(
+        self,
+        indices: np.ndarray,
+        n_entries: int,
+        n_levels: int,
+        step_table: np.ndarray,
+    ) -> np.ndarray:
+        """Fold the block into ``map[entry, initial] -> final`` levels."""
+        fold = np.tile(np.arange(n_levels, dtype=np.int8), (n_entries, 1))
+        outcomes = self.outcomes.astype(np.int8)
+        for idx, out in zip(indices, outcomes):
+            fold[idx, :] = step_table[out, fold[idx, :]]
+        return fold
+
+
+@dataclass(frozen=True)
+class CompiledBlock:
+    """A block's precomputed effect, bound to one core geometry."""
+
+    block: RandomizationBlock
+    config_name: str
+    key: int
+    partition: Optional[object]
+    bimodal_map: np.ndarray
+    gshare_map: np.ndarray
+    selector_touched: np.ndarray
+    bit_sets: np.ndarray
+    bit_tags: np.ndarray
+    ghr_end: int
+    cycles: int
+    mispredictions: int
+
+    def apply(self, core: PhysicalCore, process: Process) -> None:
+        """Apply the block's effect to ``core`` as if ``process`` ran it."""
+        if core.config.name != self.config_name:
+            raise ValueError(
+                "compiled block bound to config "
+                f"{self.config_name!r}, core is {core.config.name!r}"
+            )
+        predictor = core.predictor
+        bimodal = predictor.bimodal.pht
+        gshare = predictor.gshare.pht
+        bimodal.levels = self.bimodal_map[
+            np.arange(bimodal.n_entries), bimodal.levels
+        ]
+        gshare.levels = self.gshare_map[
+            np.arange(gshare.n_entries), gshare.levels
+        ]
+        selector = predictor.selector
+        selector.counters[self.selector_touched] = selector._initial
+        bit_table = predictor.bit
+        bit_table.valid[self.bit_sets] = True
+        bit_table.tags[self.bit_sets] = self.bit_tags
+        predictor.ghr.restore(self.ghr_end)
+        core.clock.advance(self.cycles)
+        counters = core.counters_for(process)
+        counters.increment(CounterKind.BRANCHES, len(self.block))
+        counters.increment(CounterKind.BRANCH_MISSES, self.mispredictions)
+        counters.increment(CounterKind.CYCLES, self.cycles)
+
+    def target_entry_map(
+        self, core: PhysicalCore, address: int
+    ) -> np.ndarray:
+        """Transition-map row for the bimodal entry ``address`` maps to.
+
+        Introspection helper for tests/calibration diagnostics: element
+        ``i`` gives the final level if the entry started at level ``i``.
+        A constant row means the block *pins* the entry — its post-block
+        state is independent of history, the property the §6.2
+        calibration search selects for.
+        """
+        index = core.predictor.bimodal.index(address, self.key, self.partition)
+        return self.bimodal_map[index].copy()
+
+    def pins_entry(self, core: PhysicalCore, address: int) -> bool:
+        """Whether the block pins the bimodal entry behind ``address``."""
+        row = self.target_entry_map(core, address)
+        return bool((row == row[0]).all())

@@ -1,0 +1,30 @@
+"""CPU execution substrate.
+
+Models the parts of the machine the attack observes through: a cycle
+clock, a per-branch latency model, an rdtscp-style timestamp counter
+(paper §8), per-process branch performance counters (paper §7), a small
+instruction-cache presence model (the warm/cold distinction behind the
+double-measurement protocol of §8), a process abstraction and the
+physical core that ties a shared :class:`~repro.bpu.hybrid.HybridPredictor`
+to two hardware thread contexts.
+"""
+
+from repro.cpu.clock import CycleClock
+from repro.cpu.core import BranchExecution, PhysicalCore
+from repro.cpu.counters import CounterKind, PerformanceCounters
+from repro.cpu.icache import InstructionCache
+from repro.cpu.process import Process
+from repro.cpu.timing import TimingModel
+from repro.cpu.tsc import TimestampCounter
+
+__all__ = [
+    "BranchExecution",
+    "CounterKind",
+    "CycleClock",
+    "InstructionCache",
+    "PerformanceCounters",
+    "PhysicalCore",
+    "Process",
+    "TimestampCounter",
+    "TimingModel",
+]

@@ -1,0 +1,46 @@
+"""Cycle clock: the core's monotonic time base.
+
+Every simulated branch execution advances the clock by its modelled
+latency; the :class:`~repro.cpu.tsc.TimestampCounter` reads it the way
+``rdtscp`` reads the hardware TSC (paper §8).
+"""
+
+from __future__ import annotations
+
+__all__ = ["CycleClock"]
+
+
+class CycleClock:
+    """A monotonically increasing cycle counter."""
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start negative")
+        self._cycles = int(start)
+
+    @property
+    def now(self) -> int:
+        """Current cycle count."""
+        return self._cycles
+
+    def advance(self, cycles: int) -> int:
+        """Move time forward by ``cycles``; returns the new time."""
+        if cycles < 0:
+            raise ValueError("time cannot move backwards")
+        self._cycles += int(cycles)
+        return self._cycles
+
+    def snapshot(self) -> int:
+        """Current time (pair with :meth:`restore`)."""
+        return self._cycles
+
+    def restore(self, snapshot: int) -> None:
+        """Rewind/advance to a previously captured time.
+
+        Only the simulator's checkpoint machinery uses this; nothing in
+        the modelled machine can set the TSC.
+        """
+        self._cycles = int(snapshot)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CycleClock(now={self._cycles})"

@@ -1,0 +1,44 @@
+"""Defenses against BranchScope (paper §10).
+
+Software-only mitigations (§10.1) — secret-independent branching and
+if-conversion — are *victim code* properties, demonstrated in
+``examples/mitigated_victim.py`` rather than installed on the core.
+
+Hardware-supported defenses (§10.2) are :class:`~repro.mitigations.base.
+Mitigation` plug-ins installed with
+:meth:`repro.cpu.core.PhysicalCore.install_mitigation`:
+
+* :class:`PhtIndexRandomization` — per-software-entity PHT index keys;
+* :class:`StaticPredictionForSensitiveBranches` — no predict / no update
+  for developer-marked branches;
+* :class:`BpuPartitioning` — disjoint predictor partitions;
+* :class:`NoisyPerformanceCounters` / :class:`NoisyTimer` — fuzz the
+  attacker's measurement channels;
+* :class:`StochasticFSM` — randomised prediction-FSM updates.
+
+The ``bench_ablation_mitigations`` benchmark measures each defense's
+effect on the covert channel's error rate.
+"""
+
+from repro.mitigations.base import Mitigation, MitigationStack
+from repro.mitigations.btb_defense import BtbFlushOnContextSwitch
+from repro.mitigations.noisy_counters import NoisyPerformanceCounters
+from repro.mitigations.noisy_timer import NoisyTimer
+from repro.mitigations.partitioning import BpuPartitioning
+from repro.mitigations.pht_randomization import PhtIndexRandomization
+from repro.mitigations.static_prediction import (
+    StaticPredictionForSensitiveBranches,
+)
+from repro.mitigations.stochastic_fsm import StochasticFSM
+
+__all__ = [
+    "BpuPartitioning",
+    "BtbFlushOnContextSwitch",
+    "Mitigation",
+    "MitigationStack",
+    "NoisyPerformanceCounters",
+    "NoisyTimer",
+    "PhtIndexRandomization",
+    "StaticPredictionForSensitiveBranches",
+    "StochasticFSM",
+]

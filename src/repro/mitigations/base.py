@@ -1,0 +1,133 @@
+"""Mitigation plug-in protocol (paper §10).
+
+A :class:`Mitigation` customises how the physical core uses the BPU for a
+given process.  Each hook has an identity default, so a mitigation
+overrides only what it changes; a :class:`MitigationStack` composes
+several mitigations (hooks apply in installation order).
+
+This module deliberately imports nothing from :mod:`repro.cpu` so the
+core can depend on the protocol without an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.bpu.partition import Partition
+
+__all__ = ["Mitigation", "MitigationStack"]
+
+
+class Mitigation:
+    """Base class: the identity mitigation (no protection)."""
+
+    #: Human-readable name used in ablation reports.
+    name = "none"
+
+    def pht_key(self, process) -> int:
+        """Per-process value XORed into PHT index computation (§10.2
+        "Randomization of the PHT").  Identity: 0."""
+        return 0
+
+    def partition(self, process) -> Optional[Partition]:
+        """Per-process slice of the prediction tables (§10.2
+        "Partitioning the BPU").  Identity: the whole table."""
+        return None
+
+    def suppresses_prediction(self, process, address: int) -> bool:
+        """Whether this branch must use static prediction and skip all
+        BPU updates (§10.2 "Removing prediction for sensitive
+        branches").  Identity: never."""
+        return False
+
+    def update_outcome(
+        self, rng: np.random.Generator, taken: bool
+    ) -> bool:
+        """The outcome actually recorded into the FSMs (§10.2 "change the
+        prediction FSM to make it more stochastic").  Identity: the true
+        outcome."""
+        return taken
+
+    def perturb_counter(self, rng: np.random.Generator, value: int) -> int:
+        """Noise applied to performance-counter reads (§10.2 "removing or
+        adding noise to the performance counters").  Identity: exact."""
+        return value
+
+    def perturb_timing(self, rng: np.random.Generator, latency: int) -> int:
+        """Noise applied to observable branch latency (§10.2, Timewarp-
+        style fuzzy timekeeping).  Identity: exact."""
+        return latency
+
+    def on_context_switch(self, core) -> None:
+        """Invoked by the scheduler at context-switch boundaries.
+
+        Lets defenses scrub state between security domains — e.g. the
+        BTB-flush defense deployed against the prior-work BTB attacks
+        (paper §11), which the ``bench_btb_vs_branchscope`` ablation
+        shows does *not* stop BranchScope.  Identity: nothing.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<mitigation {self.name}>"
+
+
+class MitigationStack:
+    """An ordered collection of installed mitigations."""
+
+    def __init__(self, mitigations: Optional[List[Mitigation]] = None) -> None:
+        self._mitigations: List[Mitigation] = list(mitigations or [])
+
+    def install(self, mitigation: Mitigation) -> None:
+        """Add a mitigation at the end of the stack."""
+        self._mitigations.append(mitigation)
+
+    def __iter__(self):
+        return iter(self._mitigations)
+
+    def __len__(self) -> int:
+        return len(self._mitigations)
+
+    # -- composed hooks -----------------------------------------------------
+
+    def pht_key(self, process) -> int:
+        key = 0
+        for m in self._mitigations:
+            key ^= m.pht_key(process)
+        return key
+
+    def partition(self, process) -> Optional[Partition]:
+        # Last partitioning mitigation wins; stacking partitions is not
+        # meaningful.
+        result = None
+        for m in self._mitigations:
+            part = m.partition(process)
+            if part is not None:
+                result = part
+        return result
+
+    def suppresses_prediction(self, process, address: int) -> bool:
+        return any(
+            m.suppresses_prediction(process, address) for m in self._mitigations
+        )
+
+    def update_outcome(self, rng: np.random.Generator, taken: bool) -> bool:
+        outcome = taken
+        for m in self._mitigations:
+            outcome = m.update_outcome(rng, outcome)
+        return outcome
+
+    def perturb_counter(self, rng: np.random.Generator, value: int) -> int:
+        for m in self._mitigations:
+            value = m.perturb_counter(rng, value)
+        return value
+
+    def perturb_timing(self, rng: np.random.Generator, latency: int) -> int:
+        for m in self._mitigations:
+            latency = m.perturb_timing(rng, latency)
+        return latency
+
+    def on_context_switch(self, core) -> None:
+        for m in self._mitigations:
+            m.on_context_switch(core)

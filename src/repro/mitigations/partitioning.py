@@ -1,0 +1,70 @@
+"""§10.2 "Partitioning the BPU".
+
+"The BPU may be partitioned such that attackers and victims do not share
+the same structures.  For example, SGX code may use a different branch
+predictor than normal code.  ...  With partitioning, the attacker loses
+the ability to create collisions with the victim."
+
+Two policies are provided:
+
+* :meth:`BpuPartitioning.by_enclave` — enclave processes use one half of
+  the tables, normal processes the other (the paper's SGX example);
+* :meth:`BpuPartitioning.by_process` — each process hashes to one of
+  ``n_partitions`` equal slices (the "private partition" variant, cf.
+  the paper's reference to requesting private BPU partitions).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.bpu.partition import Partition
+from repro.mitigations.base import Mitigation
+
+__all__ = ["BpuPartitioning"]
+
+
+class BpuPartitioning(Mitigation):
+    """Confine each process's predictions to a slice of the tables."""
+
+    name = "bpu-partitioning"
+
+    def __init__(
+        self,
+        table_entries: int,
+        partition_of: Callable[[object], int],
+        n_partitions: int,
+    ) -> None:
+        """``partition_of(process)`` returns the partition number in
+        ``[0, n_partitions)``; slices are equal-sized."""
+        if n_partitions <= 0 or table_entries % n_partitions != 0:
+            raise ValueError(
+                "table size must divide evenly into partitions"
+            )
+        self._size = table_entries // n_partitions
+        self._n = n_partitions
+        self._partition_of = partition_of
+
+    @classmethod
+    def by_enclave(cls, table_entries: int) -> "BpuPartitioning":
+        """Enclave code predicts in one half, normal code in the other."""
+        return cls(
+            table_entries,
+            partition_of=lambda process: 1 if process.enclave else 0,
+            n_partitions=2,
+        )
+
+    @classmethod
+    def by_process(
+        cls, table_entries: int, n_partitions: int = 8
+    ) -> "BpuPartitioning":
+        """Processes hash into ``n_partitions`` private slices."""
+        return cls(
+            table_entries,
+            partition_of=lambda process: process.pid % n_partitions,
+            n_partitions=n_partitions,
+        )
+
+    def partition(self, process) -> Optional[Partition]:
+        number = self._partition_of(process) % self._n
+        return Partition(offset=number * self._size, size=self._size)

@@ -1,0 +1,58 @@
+"""§10.2 "Randomization of the PHT".
+
+"The PHT indexing function can be modified to receive as input some data
+unique to this software entity ... One time randomization may be
+vulnerable to a probing attack that examines PHT entries one by one until
+it finds the collision; periodic randomization can be used (sacrificing
+some performance)."
+
+Each process gets a secret key XORed into the index computation, so
+cross-process address-equality no longer implies PHT collision.  With
+``rekey_period`` set, keys are refreshed after that many key lookups,
+modelling the periodic variant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.mitigations.base import Mitigation
+
+__all__ = ["PhtIndexRandomization"]
+
+
+class PhtIndexRandomization(Mitigation):
+    """Per-process secret PHT index keys, optionally rekeyed periodically."""
+
+    name = "pht-index-randomization"
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        key_bits: int = 24,
+        rekey_period: Optional[int] = None,
+    ) -> None:
+        if rekey_period is not None and rekey_period <= 0:
+            raise ValueError("rekey_period must be positive")
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._key_bits = key_bits
+        self._keys: Dict[int, int] = {}
+        self._rekey_period = rekey_period
+        self._lookups = 0
+
+    def _fresh_key(self) -> int:
+        return int(self._rng.integers(0, 1 << self._key_bits))
+
+    def pht_key(self, process) -> int:
+        self._lookups += 1
+        if (
+            self._rekey_period is not None
+            and self._lookups % self._rekey_period == 0
+        ):
+            self._keys.clear()
+        if process.pid not in self._keys:
+            self._keys[process.pid] = self._fresh_key()
+        return self._keys[process.pid]

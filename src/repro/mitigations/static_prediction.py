@@ -1,0 +1,28 @@
+"""§10.2 "Removing prediction for sensitive branches".
+
+"A software developer can indicate the branches capable of leaking secret
+information and request them to be protected.  Then the CPU must avoid
+predicting these branches, rely always on static prediction and avoid
+updating any BPU structures after such branches are executed."
+
+Protection is declared per branch via
+:meth:`repro.cpu.process.Process.protect_branch`; this mitigation makes
+the core honour those declarations.  Note the paper's caveat: this does
+not stop the *covert* channel (a cooperating sender simply uses an
+unprotected branch), a property the ablation bench demonstrates.
+"""
+
+from __future__ import annotations
+
+from repro.mitigations.base import Mitigation
+
+__all__ = ["StaticPredictionForSensitiveBranches"]
+
+
+class StaticPredictionForSensitiveBranches(Mitigation):
+    """Honour per-process protected-branch declarations."""
+
+    name = "static-prediction-sensitive"
+
+    def suppresses_prediction(self, process, address: int) -> bool:
+        return int(address) in process.protected_branches

@@ -1,0 +1,34 @@
+"""§10.2: "change the prediction FSM to make it more stochastic,
+interfering with the attacker's ability to precisely infer the direction
+of the branch taken by the victim".
+
+With probability ``flip_prob`` a branch's FSM training update records a
+*random* direction instead of the actual outcome.  Predictions themselves
+stay architectural (hit/miss is judged against the true outcome), so the
+defense costs prediction accuracy proportional to ``flip_prob`` — the
+ablation bench measures both the security gain and that accuracy cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mitigations.base import Mitigation
+
+__all__ = ["StochasticFSM"]
+
+
+class StochasticFSM(Mitigation):
+    """Randomly corrupt FSM training updates."""
+
+    name = "stochastic-fsm"
+
+    def __init__(self, flip_prob: float = 0.25) -> None:
+        if not 0.0 <= flip_prob <= 1.0:
+            raise ValueError("flip_prob must be a probability")
+        self.flip_prob = float(flip_prob)
+
+    def update_outcome(self, rng: np.random.Generator, taken: bool) -> bool:
+        if self.flip_prob > 0.0 and rng.random() < self.flip_prob:
+            return bool(rng.integers(0, 2))
+        return taken

@@ -1,0 +1,23 @@
+"""Operating-system substrate.
+
+Models the parts of the software stack the paper's threat model (§3)
+depends on: co-scheduling of victim and spy on one physical core with
+attacker-useful granularity (victim slowdown), background system noise on
+the sibling hardware thread, address-space layout randomisation, and the
+SGX enclave environment with a malicious OS (§9).
+"""
+
+from repro.system.aslr import AslrConfig
+from repro.system.noise import NoiseModel, inject_noise
+from repro.system.scheduler import AttackScheduler, NoiseSetting
+from repro.system.sgx import Enclave, MaliciousOS
+
+__all__ = [
+    "AslrConfig",
+    "AttackScheduler",
+    "Enclave",
+    "MaliciousOS",
+    "NoiseModel",
+    "NoiseSetting",
+    "inject_noise",
+]

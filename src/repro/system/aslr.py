@@ -1,0 +1,70 @@
+"""Address-space layout randomisation model (paper §4, §9.2).
+
+ASLR randomises where a process's code is loaded, so an attacker who
+wants a PHT collision with a victim branch must first learn the branch's
+virtual address.  The paper notes the attacker can de-randomise with data
+disclosure or side channels — and §9.2 shows BranchScope *itself* can be
+that side channel, because PHT collisions reveal where victim branches
+live modulo the PHT size.
+
+We model ASLR as a random, alignment-constrained displacement of the
+process load base within an entropy window, matching Linux mmap-style
+code randomisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cpu.process import Process
+
+__all__ = ["AslrConfig"]
+
+
+@dataclass(frozen=True)
+class AslrConfig:
+    """Entropy and alignment of code-base randomisation.
+
+    Defaults model 28 bits of mmap entropy at page (4 KiB) alignment —
+    i.e. the base is ``link_base + r * 4096`` with ``r`` uniform in
+    ``[0, 2^16)`` by default entropy_bits=16 page-granule bits, a
+    tractable stand-in for Linux's larger window (the *attack math* only
+    depends on entropy modulo the PHT size; see
+    :mod:`repro.core.aslr_attack`).
+    """
+
+    entropy_bits: int = 16
+    alignment: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.entropy_bits <= 0:
+            raise ValueError("entropy_bits must be positive")
+        if self.alignment <= 0:
+            raise ValueError("alignment must be positive")
+
+    @property
+    def slots(self) -> int:
+        """Number of equally likely load bases."""
+        return 1 << self.entropy_bits
+
+    def randomize_base(self, link_base: int, rng: np.random.Generator) -> int:
+        """Draw a random load base for a binary linked at ``link_base``."""
+        slot = int(rng.integers(0, self.slots))
+        return link_base + slot * self.alignment
+
+    def randomized_process(
+        self,
+        name: str,
+        rng: np.random.Generator,
+        link_base: int = 0x400000,
+        **kwargs,
+    ) -> Process:
+        """Create a process with a freshly randomised load base."""
+        return Process(
+            name=name,
+            link_base=link_base,
+            load_base=self.randomize_base(link_base, rng),
+            **kwargs,
+        )

@@ -1,0 +1,205 @@
+"""System noise: background branch activity on the shared BPU.
+
+Table 2 evaluates the covert channel in two settings: an *isolated*
+physical core (only OS housekeeping perturbs the predictor) and a *noisy*
+one (normal system activity runs on the sibling hardware thread).  Either
+way the noise is other code executing branches through the same shared
+predictor; each such branch lands on a PHT entry determined by its
+address and nudges that entry's FSM — occasionally the entry the attack
+is using, which is what produces bit errors.
+
+Two implementations are provided:
+
+* :func:`noise_branches` generates explicit ``(address, taken)`` pairs to
+  feed :meth:`~repro.cpu.core.PhysicalCore.execute_branch` — the exact
+  path, used in tests and small experiments.
+* :func:`inject_noise` applies the *aggregate* effect of ``n`` random
+  branches directly to the predictor arrays with vectorised NumPy — the
+  fast path used inside long covert-channel runs.  A property test
+  (``tests/test_noise.py``) checks the two produce statistically
+  indistinguishable per-entry effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.cpu.core import PhysicalCore
+from repro.cpu.process import Process
+
+__all__ = [
+    "NoiseModel",
+    "noise_branches",
+    "inject_noise",
+    "run_workload_noise",
+    "apply_fsm_steps",
+]
+
+#: Address range noise branches are drawn from: a large, unrelated shared
+#: library / kernel text region.
+NOISE_REGION = (0x7F0000000000, 0x7F0000400000)
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """How much foreign branch activity hits the BPU between attack stages.
+
+    ``ambient_branches`` models steady OS housekeeping; with probability
+    ``burst_prob`` a scheduling burst of ``burst_size`` extra branches
+    (timer interrupt, kworker, another process's timeslice) lands in the
+    gap.  The Table 2 presets are :meth:`isolated` and :meth:`noisy`.
+    """
+
+    ambient_branches: int = 60
+    burst_prob: float = 0.02
+    burst_size: int = 2500
+
+    @staticmethod
+    def isolated() -> "NoiseModel":
+        """Table 2's "isolated physical core" setting."""
+        return NoiseModel(ambient_branches=60, burst_prob=0.02, burst_size=2500)
+
+    @staticmethod
+    def noisy() -> "NoiseModel":
+        """Table 2's "no restrictions / with noise" setting."""
+        return NoiseModel(ambient_branches=180, burst_prob=0.05, burst_size=3500)
+
+    @staticmethod
+    def quiesced() -> "NoiseModel":
+        """An attacker-controlled OS suppressing other work (paper §9.2,
+        Table 3's SGX-isolated setting)."""
+        return NoiseModel(ambient_branches=4, burst_prob=0.001, burst_size=400)
+
+    @staticmethod
+    def silent() -> "NoiseModel":
+        """No noise at all — for deterministic unit tests."""
+        return NoiseModel(ambient_branches=0, burst_prob=0.0, burst_size=0)
+
+    def gap_branches(self, rng: np.random.Generator) -> int:
+        """Sample how many foreign branches execute in one stage gap."""
+        n = 0
+        if self.ambient_branches > 0:
+            n += int(rng.poisson(self.ambient_branches))
+        if self.burst_size > 0 and rng.random() < self.burst_prob:
+            n += self.burst_size
+        return n
+
+
+def noise_branches(
+    rng: np.random.Generator,
+    n: int,
+    region: Tuple[int, int] = NOISE_REGION,
+) -> Iterator[Tuple[int, bool]]:
+    """Yield ``n`` random foreign branches as ``(address, taken)`` pairs."""
+    low, high = region
+    addresses = rng.integers(low, high, size=n)
+    outcomes = rng.integers(0, 2, size=n).astype(bool)
+    for address, taken in zip(addresses, outcomes):
+        yield int(address), bool(taken)
+
+
+def apply_fsm_steps(
+    levels: np.ndarray,
+    step_table: np.ndarray,
+    indices: np.ndarray,
+    outcomes: np.ndarray,
+) -> None:
+    """Apply a sequence of FSM steps ``(indices[i], outcomes[i])`` in order.
+
+    Equivalent to a Python loop of ``levels[idx] = step[out, levels[idx]]``
+    but vectorised: duplicate indices are resolved by processing the k-th
+    occurrence of each index in round k, preserving per-entry ordering
+    (cross-entry ordering is irrelevant — entries are independent).
+    """
+    if len(indices) == 0:
+        return
+    order = np.argsort(indices, kind="stable")
+    sorted_idx = indices[order]
+    sorted_out = outcomes[order].astype(np.int8)
+    is_first = np.ones(len(sorted_idx), dtype=bool)
+    is_first[1:] = sorted_idx[1:] != sorted_idx[:-1]
+    positions = np.arange(len(sorted_idx))
+    group_start = np.maximum.accumulate(np.where(is_first, positions, 0))
+    occurrence = positions - group_start
+    for round_no in range(int(occurrence.max()) + 1):
+        mask = occurrence == round_no
+        idx = sorted_idx[mask]
+        out = sorted_out[mask]
+        levels[idx] = step_table[out, levels[idx]]
+
+
+def run_workload_noise(core: PhysicalCore, workload, n: int) -> None:
+    """Exact-path noise: execute ``n`` branches of a structured workload.
+
+    Uniform-random noise (:func:`inject_noise`) is the fast default, but
+    real co-runners execute *structured* control flow
+    (:mod:`repro.workloads`): loops train entries to strong states,
+    biased checks park entries on one side.  This helper runs such a
+    co-runner exactly; the structured-vs-uniform comparison lives in
+    ``tests/test_noise.py``.
+    """
+    process = Process("noise-workload")
+    stream = workload.branches()
+    for _ in range(n):
+        address, taken = next(stream)
+        core.execute_branch(process, address, taken)
+
+
+def inject_noise(
+    core: PhysicalCore,
+    n: int,
+    rng: np.random.Generator,
+    region: Tuple[int, int] = NOISE_REGION,
+) -> None:
+    """Fast path: apply the aggregate BPU effect of ``n`` foreign branches.
+
+    Perturbs the bimodal PHT (the attack's observable), the gshare PHT and
+    GHR (2-level pollution), the branch identification table (evictions)
+    and the selector, and advances the clock.  Performance counters of the
+    noise source are not modelled — no attack reads them.
+    """
+    if n <= 0:
+        return
+    low, high = region
+    predictor = core.predictor
+    step_table = predictor.bimodal.pht.fsm._step_arr
+
+    addresses = rng.integers(low, high, size=n)
+    outcomes = rng.integers(0, 2, size=n).astype(bool)
+
+    bimodal_idx = (addresses % predictor.bimodal.pht.n_entries).astype(np.int64)
+    apply_fsm_steps(predictor.bimodal.pht.levels, step_table, bimodal_idx, outcomes)
+
+    # gshare indices are effectively uniform anyway (PC xor evolving GHR).
+    gshare_idx = rng.integers(0, predictor.gshare.pht.n_entries, size=n)
+    apply_fsm_steps(predictor.gshare.pht.levels, step_table, gshare_idx, outcomes)
+
+    # The last branches leave their history in the GHR.
+    tail = outcomes[-predictor.ghr.length:]
+    ghr_value = 0
+    for bit in tail:
+        ghr_value = (ghr_value << 1) | int(bit)
+    predictor.ghr.set(ghr_value)
+
+    # Identification-table insertions (may evict attack/victim branches).
+    bit_table = predictor.bit
+    sets = (addresses % bit_table.n_sets).astype(np.int64)
+    tags = ((addresses // bit_table.n_sets) & bit_table._tag_mask).astype(np.int64)
+    bit_table.valid[sets] = True
+    bit_table.tags[sets] = tags
+
+    # Selector drift: each noise branch nudges its choice counter at
+    # random (its own bimodal/gshare accuracies are uncorrelated).
+    sel = predictor.selector
+    sel_idx = (addresses % sel.n_entries).astype(np.int64)
+    nudges = rng.integers(-1, 2, size=n)
+    drift = np.zeros(sel.n_entries, dtype=np.int64)
+    np.add.at(drift, sel_idx, nudges)
+    sel.counters[:] = np.clip(
+        sel.counters.astype(np.int64) + drift, 0, 3
+    ).astype(np.int8)
+
+    core.clock.advance(int(n))

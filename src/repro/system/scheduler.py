@@ -1,0 +1,109 @@
+"""Attack-oriented scheduling model (paper §3, §7).
+
+BranchScope needs the victim slowed down so that exactly one victim
+branch executes between the spy's prime and probe stages ("we assume that
+the spy can slow down the victim process in order to allow it to execute
+a single branch instruction during the context switch", §7).  On a normal
+OS this is achieved with scheduler abuse à la Gullasch et al. and is
+imperfect; under SGX the malicious OS single-steps the enclave precisely.
+
+:class:`AttackScheduler` models exactly that interface:
+
+* :meth:`stage_gap` — time passes between attack stages; foreign branch
+  noise (per the :class:`~repro.system.noise.NoiseModel`) hits the shared
+  BPU.
+* :meth:`victim_turn` — the victim gets scheduled to execute its next
+  secret-dependent branch.  With probability ``victim_jitter`` the
+  slowdown misfires and the victim executes zero or two steps instead of
+  one — the scheduling-precision error source of the conventional (non-
+  SGX) setting.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.cpu.core import PhysicalCore
+from repro.system.noise import NoiseModel, inject_noise
+
+__all__ = ["NoiseSetting", "AttackScheduler"]
+
+
+class NoiseSetting(enum.Enum):
+    """The environmental settings evaluated in Tables 2 and 3."""
+
+    #: Table 2 "isolated": dedicated physical core, only OS housekeeping.
+    ISOLATED = "isolated"
+    #: Table 2 "with noise": unrestricted co-running system activity.
+    NOISY = "with noise"
+    #: Table 3 "SGX isolated": malicious OS suppresses all other work.
+    QUIESCED = "quiesced"
+    #: Deterministic, for unit tests.
+    SILENT = "silent"
+
+    def model(self) -> NoiseModel:
+        """The branch-noise model for this setting."""
+        return {
+            NoiseSetting.ISOLATED: NoiseModel.isolated,
+            NoiseSetting.NOISY: NoiseModel.noisy,
+            NoiseSetting.QUIESCED: NoiseModel.quiesced,
+            NoiseSetting.SILENT: NoiseModel.silent,
+        }[self]()
+
+
+class AttackScheduler:
+    """Scheduling and noise orchestration for one attack session."""
+
+    def __init__(
+        self,
+        core: PhysicalCore,
+        setting: NoiseSetting = NoiseSetting.ISOLATED,
+        *,
+        victim_jitter: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        """``victim_jitter`` defaults by setting: 0 under QUIESCED/SILENT
+        (single-stepping / determinism), a small probability otherwise."""
+        self.core = core
+        self.setting = setting
+        self.noise_model = setting.model()
+        self.rng = rng if rng is not None else core.rng
+        if victim_jitter is None:
+            if setting in (NoiseSetting.QUIESCED, NoiseSetting.SILENT):
+                victim_jitter = 0.0
+            else:
+                victim_jitter = 0.002
+        if not 0.0 <= victim_jitter <= 1.0:
+            raise ValueError("victim_jitter must be a probability")
+        self.victim_jitter = victim_jitter
+
+    def stage_gap(self) -> int:
+        """Let wall-clock time pass between attack stages.
+
+        A stage gap is a context-switch boundary: defenses that scrub
+        BPU state between security domains fire here, then the setting's
+        foreign-branch noise hits the shared BPU.  Returns how many noise
+        branches executed.
+        """
+        self.core.mitigations.on_context_switch(self.core)
+        n = self.noise_model.gap_branches(self.rng)
+        inject_noise(self.core, n, self.rng)
+        return n
+
+    def victim_turn(self, step: Callable[[], None]) -> int:
+        """Schedule the victim for (nominally) one secret branch.
+
+        ``step`` executes one victim step.  Returns the number of steps
+        actually executed (0, 1 or 2); callers that track the victim's
+        progress use the return value, the attacker of course cannot.
+        """
+        if self.victim_jitter > 0.0 and self.rng.random() < self.victim_jitter:
+            steps = int(self.rng.choice([0, 2]))
+        else:
+            steps = 1
+        for _ in range(steps):
+            step()
+        return steps

@@ -1,0 +1,92 @@
+"""Intel SGX enclave model with a malicious OS (paper §9).
+
+SGX protects enclave *memory* from system software, but the BPU remains
+shared between enclave and non-enclave code — that asymmetry is the
+paper's §9 target.  The SGX threat model also *helps* the attacker: the
+OS is attacker-controlled, so it can
+
+* schedule the enclave with single-instruction precision (APIC timer
+  interrupts after a few instructions, or page-unmap faults — §9.2),
+* quiesce the machine, eliminating noise (Table 3's improved error
+  rates), and
+* read performance counters freely.
+
+:class:`Enclave` wraps a victim process: its secret state is only
+reachable through :meth:`Enclave.step` (executing the next secret-
+dependent branch on the shared core); nothing else about the secret is
+exposed.  :class:`MaliciousOS` provides the attacker's control surface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.cpu.core import PhysicalCore
+from repro.cpu.process import Process
+from repro.system.noise import NoiseModel, inject_noise
+
+__all__ = ["Enclave", "MaliciousOS"]
+
+
+class Enclave:
+    """A victim program sealed inside SGX.
+
+    Parameters
+    ----------
+    process:
+        The process identity (flagged ``enclave=True`` automatically).
+    step_fn:
+        Executes the enclave's next secret-dependent branch on a given
+        core.  This is the *only* channel from the secret to the outside
+        world; the secret itself lives in the closure and is never
+        attribute-accessible (mirroring SGX memory protection).
+    """
+
+    def __init__(
+        self, process: Process, step_fn: Callable[[PhysicalCore], None]
+    ) -> None:
+        process.enclave = True
+        self.process = process
+        self._step_fn = step_fn
+
+    def step(self, core: PhysicalCore) -> None:
+        """Resume the enclave for one secret-dependent branch."""
+        self._step_fn(core)
+
+
+class MaliciousOS:
+    """The attacker-controlled operating system of the SGX threat model."""
+
+    def __init__(
+        self,
+        core: PhysicalCore,
+        *,
+        quiesce: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        """With ``quiesce=True`` the OS prevents other processes from
+        running (Table 3 "SGX isolated"); otherwise normal system noise
+        remains (Table 3 "SGX with noise")."""
+        self.core = core
+        self.rng = rng if rng is not None else core.rng
+        self.noise_model = (
+            NoiseModel.quiesced() if quiesce else NoiseModel.isolated()
+        )
+
+    def single_step(self, enclave: Enclave) -> None:
+        """Run the enclave for exactly one secret-dependent branch.
+
+        Models APIC-timer single-stepping (§9.2): unlike the conventional
+        scheduler there is **no** jitter — the OS controls interrupt
+        delivery precisely, which is why SGX error rates beat the
+        conventional ones in Table 3.
+        """
+        enclave.step(self.core)
+
+    def stage_gap(self) -> int:
+        """Time between attack stages under OS-controlled noise."""
+        n = self.noise_model.gap_branches(self.rng)
+        inject_noise(self.core, n, self.rng)
+        return n

@@ -1,0 +1,57 @@
+"""Victim programs (paper Listing 2 and §9.2 application targets).
+
+Each victim couples a real computation (implemented from scratch) to the
+simulated core: whenever its control flow reaches a secret-dependent
+conditional branch, it executes that branch through
+:meth:`~repro.cpu.core.PhysicalCore.execute_branch` at a stable virtual
+address — the leak BranchScope exploits.
+
+* :mod:`repro.victims.bitarray` — the Listing 2 secret-bit-array victim
+  used by the covert-channel evaluation.
+* :mod:`repro.victims.montgomery` — Montgomery-ladder modular
+  exponentiation and elliptic-curve scalar multiplication, the §9.2
+  crypto target (branch direction = key bit).
+* :mod:`repro.victims.jpeg` / :mod:`repro.victims.dct` — a JPEG-like
+  8x8-block codec whose IDCT skips all-zero rows/columns with individual
+  branch instructions, the §9.2 libjpeg target.
+"""
+
+from repro.victims.bitarray import SecretBitArrayVictim
+from repro.victims.compare import EarlyExitComparatorVictim, crack_secret
+from repro.victims.dct import dct2_8x8, idct2_8x8, quantize, dequantize
+from repro.victims.jpeg import (
+    JpegDecoderVictim,
+    JpegImage,
+    encode_image,
+)
+from repro.victims.montgomery import (
+    CurvePoint,
+    MontgomeryLadderVictim,
+    TinyCurve,
+    ladder_scalar_mult,
+    montgomery_ladder_pow,
+)
+from repro.victims.square_multiply import (
+    SquareAndMultiplyVictim,
+    square_and_multiply_pow,
+)
+
+__all__ = [
+    "CurvePoint",
+    "EarlyExitComparatorVictim",
+    "JpegDecoderVictim",
+    "JpegImage",
+    "MontgomeryLadderVictim",
+    "SecretBitArrayVictim",
+    "SquareAndMultiplyVictim",
+    "TinyCurve",
+    "crack_secret",
+    "square_and_multiply_pow",
+    "dct2_8x8",
+    "dequantize",
+    "encode_image",
+    "idct2_8x8",
+    "ladder_scalar_mult",
+    "montgomery_ladder_pow",
+    "quantize",
+]

@@ -1,0 +1,80 @@
+"""8x8 block DCT/IDCT and quantisation — the JPEG codec's math core.
+
+Implemented from scratch (orthonormal DCT-II via its matrix form) so the
+:mod:`repro.victims.jpeg` victim has a real decompression path to leak
+from.  The quantisation table is the JPEG Annex K luminance table, the
+one real libjpeg uses at quality 50.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "BLOCK",
+    "STANDARD_LUMINANCE_QTABLE",
+    "dct_matrix",
+    "dct2_8x8",
+    "idct2_8x8",
+    "quantize",
+    "dequantize",
+]
+
+#: JPEG block edge length.
+BLOCK = 8
+
+#: JPEG Annex K base luminance quantisation table (quality 50).
+STANDARD_LUMINANCE_QTABLE = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+
+
+def dct_matrix(n: int = BLOCK) -> np.ndarray:
+    """Orthonormal DCT-II matrix ``C`` with ``X = C @ x`` for columns."""
+    k = np.arange(n).reshape(-1, 1)
+    i = np.arange(n).reshape(1, -1)
+    matrix = np.cos((2 * i + 1) * k * np.pi / (2 * n))
+    matrix *= np.sqrt(2.0 / n)
+    matrix[0, :] = np.sqrt(1.0 / n)
+    return matrix
+
+
+_C = dct_matrix()
+
+
+def dct2_8x8(block: np.ndarray) -> np.ndarray:
+    """2-D DCT-II of one 8x8 spatial block."""
+    if block.shape != (BLOCK, BLOCK):
+        raise ValueError("expected an 8x8 block")
+    return _C @ block @ _C.T
+
+
+def idct2_8x8(coefficients: np.ndarray) -> np.ndarray:
+    """2-D inverse DCT of one 8x8 coefficient block."""
+    if coefficients.shape != (BLOCK, BLOCK):
+        raise ValueError("expected an 8x8 block")
+    return _C.T @ coefficients @ _C
+
+
+def quantize(
+    coefficients: np.ndarray, qtable: np.ndarray = STANDARD_LUMINANCE_QTABLE
+) -> np.ndarray:
+    """Quantise DCT coefficients to integers (lossy step)."""
+    return np.round(coefficients / qtable).astype(np.int32)
+
+
+def dequantize(
+    quantized: np.ndarray, qtable: np.ndarray = STANDARD_LUMINANCE_QTABLE
+) -> np.ndarray:
+    """Rescale quantised coefficients for the inverse transform."""
+    return quantized.astype(np.float64) * qtable

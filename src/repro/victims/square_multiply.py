@@ -1,0 +1,121 @@
+"""Square-and-multiply exponentiation victim.
+
+The pre-Montgomery modexp the paper's crypto citations attack
+(Acıiçmez et al. demonstrated the original BTB attacks against RSA's
+square-and-multiply): every exponent bit squares, and a *1* bit
+additionally multiplies — guarded by a branch taken exactly when the
+key bit is 1:
+
+.. code-block:: text
+
+    for i = bits-1 .. 0:
+        r = r*r mod n
+        if k_i == 1:      # <- the spied branch
+            r = r*b mod n
+
+Unlike the ladder, this implementation also leaks through *time* (the
+multiply is conditional work); BranchScope reads the branch directly,
+needing no timing statistics over the arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.cpu.core import PhysicalCore
+from repro.cpu.process import Process
+
+__all__ = ["square_and_multiply_pow", "SquareAndMultiplyVictim"]
+
+#: Link-time address of the multiply-guard branch.
+SQM_BRANCH_LINK_ADDRESS = 0x40_33C8
+
+
+def square_and_multiply_pow(
+    base: int,
+    exponent: int,
+    modulus: int,
+    branch_hook: Optional[Callable[[bool], None]] = None,
+) -> int:
+    """Left-to-right square-and-multiply modular exponentiation.
+
+    ``branch_hook(bit)`` fires at each iteration's multiply-guard branch.
+    Verified against :func:`pow` in the tests.
+    """
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    if exponent < 0:
+        raise ValueError("negative exponents are not supported")
+    result = 1 % modulus
+    base %= modulus
+    for i in reversed(range(exponent.bit_length())):
+        result = (result * result) % modulus
+        bit = (exponent >> i) & 1
+        if branch_hook is not None:
+            branch_hook(bool(bit))
+        if bit:
+            result = (result * base) % modulus
+    return result
+
+
+class SquareAndMultiplyVictim:
+    """An RSA-style signer leaking its exponent via the multiply guard.
+
+    Mirrors :class:`repro.victims.montgomery.MontgomeryLadderVictim`'s
+    step interface: each :meth:`step` executes one multiply-guard branch
+    on the core; :attr:`result` holds the signature once the exponent is
+    exhausted.
+    """
+
+    def __init__(
+        self,
+        secret_exponent: int,
+        *,
+        base: int = 0x1234567,
+        modulus: int = (1 << 61) - 1,
+        process: Optional[Process] = None,
+        branch_link_address: int = SQM_BRANCH_LINK_ADDRESS,
+    ) -> None:
+        if secret_exponent <= 0:
+            raise ValueError("secret exponent must be positive")
+        self._exponent = secret_exponent
+        self.base = base
+        self.modulus = modulus
+        self.process = process or Process("sqm-victim")
+        self.branch_address = self.process.branch_address(branch_link_address)
+        self.result: Optional[int] = None
+        self._pending: List[bool] = []
+        self.begin()
+
+    @property
+    def n_bits(self) -> int:
+        """Exponent length in bits (public)."""
+        return self._exponent.bit_length()
+
+    def begin(self) -> None:
+        """Start one exponentiation."""
+        self._pending = [
+            bool((self._exponent >> i) & 1)
+            for i in reversed(range(self._exponent.bit_length()))
+        ]
+        self.result = None
+
+    @property
+    def finished(self) -> bool:
+        """Whether the current operation has consumed every bit."""
+        return not self._pending
+
+    def step(self, core: PhysicalCore) -> None:
+        """Execute the next multiply-guard branch."""
+        if not self._pending:
+            raise RuntimeError("operation finished; call begin() again")
+        bit = self._pending.pop(0)
+        core.execute_branch(self.process, self.branch_address, taken=bit)
+        if not self._pending:
+            self.result = square_and_multiply_pow(
+                self.base, self._exponent, self.modulus
+            )
+
+    def reveal_exponent(self) -> int:
+        """Ground truth for evaluation harnesses only."""
+        return self._exponent

@@ -1,0 +1,36 @@
+"""Synthetic branch workloads and predictor-accuracy metrics.
+
+The hybrid predictor exists to predict *programs* (paper §2's background:
+bimodal catches biased branches, gshare catches correlated patterns, the
+tournament combines them).  This package generates branch traces with
+the control-flow structures real code exhibits — loops, biased
+conditionals, periodic patterns, correlated branches — and measures
+component/hybrid prediction accuracy on them, validating that the
+substrate behaves like a real BPU and quantifying *why* the combined
+design of Figure 1 wins (``bench_predictor_accuracy``).
+
+The generators double as realistic co-runner noise for attack
+experiments (structured traces stress the predictor differently than
+uniform noise).
+"""
+
+from repro.workloads.metrics import AccuracyReport, measure_accuracy
+from repro.workloads.synthetic import (
+    BiasedWorkload,
+    CorrelatedWorkload,
+    LoopWorkload,
+    MixedWorkload,
+    PatternWorkload,
+    Workload,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "BiasedWorkload",
+    "CorrelatedWorkload",
+    "LoopWorkload",
+    "MixedWorkload",
+    "PatternWorkload",
+    "Workload",
+    "measure_accuracy",
+]

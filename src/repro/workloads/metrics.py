@@ -1,0 +1,79 @@
+"""Predictor accuracy measurement over workloads.
+
+Runs a trace through a fresh predictor and reports per-component and
+final accuracies — the methodology behind every tournament-predictor
+design paper, applied to our Figure 1 model.  Component accuracies are
+counted from the same executions (what *would* each component have
+said), so the numbers are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bpu.hybrid import HybridPredictor
+from repro.bpu.presets import PredictorConfig
+from repro.workloads.synthetic import Workload
+
+__all__ = ["AccuracyReport", "measure_accuracy"]
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Prediction accuracies over one workload trace."""
+
+    workload: str
+    branches: int
+    #: Accuracy of the hybrid's final predictions.
+    hybrid: float
+    #: Accuracy the bimodal component alone would have achieved.
+    bimodal: float
+    #: Accuracy the gshare component alone would have achieved.
+    gshare: float
+    #: Fraction of predictions the selector (or cold rule) took from
+    #: the bimodal side.
+    bimodal_share: float
+
+    def best_component(self) -> str:
+        """Which standalone component won on this workload."""
+        return "bimodal" if self.bimodal >= self.gshare else "gshare"
+
+
+def measure_accuracy(
+    config: PredictorConfig,
+    workload: Workload,
+    n_branches: int = 20_000,
+    *,
+    warmup: int = 2_000,
+) -> AccuracyReport:
+    """Run ``workload`` through a fresh predictor and score it.
+
+    ``warmup`` branches execute before counting starts, so steady-state
+    accuracy is measured (the paper's Figure 2 covers the transient).
+    """
+    if n_branches <= 0:
+        raise ValueError("n_branches must be positive")
+    predictor: HybridPredictor = config.build()
+    stream = workload.branches()
+    for _ in range(warmup):
+        address, taken = next(stream)
+        predictor.execute(address, taken)
+
+    hybrid_hits = bimodal_hits = gshare_hits = bimodal_chosen = 0
+    for _ in range(n_branches):
+        address, taken = next(stream)
+        prediction = predictor.execute(address, taken)
+        hybrid_hits += prediction.taken == taken
+        bimodal_hits += prediction.bimodal_taken == taken
+        gshare_hits += prediction.gshare_taken == taken
+        bimodal_chosen += prediction.taken == prediction.bimodal_taken and (
+            prediction.cold or prediction.component == 0
+        )
+    return AccuracyReport(
+        workload=workload.name,
+        branches=n_branches,
+        hybrid=hybrid_hits / n_branches,
+        bimodal=bimodal_hits / n_branches,
+        gshare=gshare_hits / n_branches,
+        bimodal_share=bimodal_chosen / n_branches,
+    )

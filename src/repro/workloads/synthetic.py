@@ -1,0 +1,215 @@
+"""Branch-trace generators with real-code control-flow structure.
+
+Each workload yields ``(address, taken)`` pairs.  The four families map
+to the classic branch-behaviour taxonomy the hybrid predictor design
+targets (paper §2 background):
+
+* :class:`LoopWorkload` — backward loop branches: taken ``body-1`` times
+  then not-taken once.  Bimodal handles these well; gshare handles them
+  perfectly once it learns the iteration count.
+* :class:`BiasedWorkload` — branches with a fixed per-branch bias
+  (e.g. error checks that almost never fire).  Bimodal's home turf.
+* :class:`PatternWorkload` — a short repeating outcome pattern per
+  branch (the Figure 2 workload): hopeless for bimodal when balanced,
+  learnable by gshare.
+* :class:`CorrelatedWorkload` — each branch's outcome equals the XOR of
+  the previous two *other* branches' outcomes: pure global-history
+  correlation, invisible to any per-branch predictor.
+
+:class:`MixedWorkload` interleaves several of these, weighted — the
+closest thing to "a program" and the default realistic co-runner.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Workload",
+    "LoopWorkload",
+    "BiasedWorkload",
+    "PatternWorkload",
+    "CorrelatedWorkload",
+    "MixedWorkload",
+]
+
+Branch = Tuple[int, bool]
+
+
+class Workload:
+    """Base class: an infinite, seeded branch-trace generator."""
+
+    #: Human-readable family name for reports.
+    name = "abstract"
+
+    def __init__(self, base_address: int, seed: int = 0) -> None:
+        self.base_address = int(base_address)
+        self.seed = seed
+
+    def branches(self) -> Iterator[Branch]:
+        """Yield ``(address, taken)`` pairs forever."""
+        raise NotImplementedError
+
+    def take(self, n: int) -> List[Branch]:
+        """The trace's first ``n`` branches."""
+        stream = self.branches()
+        return [next(stream) for _ in range(n)]
+
+
+class LoopWorkload(Workload):
+    """Nested counted loops: the dominant branch shape in real code."""
+
+    name = "loops"
+
+    def __init__(
+        self,
+        base_address: int,
+        seed: int = 0,
+        *,
+        inner_iterations: int = 8,
+        outer_iterations: int = 4,
+    ) -> None:
+        super().__init__(base_address, seed)
+        if inner_iterations < 2 or outer_iterations < 2:
+            raise ValueError("loops need at least two iterations")
+        self.inner_iterations = inner_iterations
+        self.outer_iterations = outer_iterations
+
+    def branches(self) -> Iterator[Branch]:
+        inner_branch = self.base_address
+        outer_branch = self.base_address + 0x40
+        while True:
+            for outer in range(self.outer_iterations):
+                for inner in range(self.inner_iterations):
+                    # Inner back-edge: taken while the loop continues.
+                    yield inner_branch, inner < self.inner_iterations - 1
+                yield outer_branch, outer < self.outer_iterations - 1
+
+
+class BiasedWorkload(Workload):
+    """Independent branches, each with a fixed strong bias."""
+
+    name = "biased"
+
+    def __init__(
+        self,
+        base_address: int,
+        seed: int = 0,
+        *,
+        n_branches: int = 16,
+        bias: float = 0.95,
+    ) -> None:
+        super().__init__(base_address, seed)
+        if not 0.0 <= bias <= 1.0:
+            raise ValueError("bias must be a probability")
+        self.n_branches = n_branches
+        self.bias = bias
+
+    def branches(self) -> Iterator[Branch]:
+        rng = np.random.default_rng(self.seed)
+        # Half the branches biased taken, half biased not-taken.
+        directions = rng.integers(0, 2, self.n_branches).astype(bool)
+        while True:
+            for i in range(self.n_branches):
+                address = self.base_address + 4 * i
+                agree = rng.random() < self.bias
+                yield address, bool(directions[i]) == agree
+
+
+class PatternWorkload(Workload):
+    """One branch repeating a fixed irregular pattern (Figure 2's shape)."""
+
+    name = "pattern"
+
+    def __init__(
+        self,
+        base_address: int,
+        seed: int = 0,
+        *,
+        pattern_bits: int = 10,
+    ) -> None:
+        super().__init__(base_address, seed)
+        if pattern_bits < 2:
+            raise ValueError("pattern needs at least two bits")
+        self.pattern_bits = pattern_bits
+
+    def branches(self) -> Iterator[Branch]:
+        rng = np.random.default_rng(self.seed)
+        pattern = rng.integers(0, 2, self.pattern_bits).astype(bool)
+        while True:
+            for taken in pattern:
+                yield self.base_address, bool(taken)
+
+
+class CorrelatedWorkload(Workload):
+    """Branches predictable only from *global* history.
+
+    Branch C's outcome is the XOR of the outcomes of branches A and B
+    that executed just before it; A and B themselves are random.  No
+    per-branch state can predict C above 50%; a global-history predictor
+    can reach ~100%.
+    """
+
+    name = "correlated"
+
+    def branches(self) -> Iterator[Branch]:
+        rng = np.random.default_rng(self.seed)
+        a_branch = self.base_address
+        b_branch = self.base_address + 4
+        c_branch = self.base_address + 8
+        while True:
+            a = bool(rng.integers(0, 2))
+            b = bool(rng.integers(0, 2))
+            yield a_branch, a
+            yield b_branch, b
+            yield c_branch, a ^ b
+
+
+class MixedWorkload(Workload):
+    """Weighted interleaving of several workloads — "a program"."""
+
+    name = "mixed"
+
+    def __init__(
+        self,
+        workloads: Sequence[Workload],
+        weights: Sequence[float],
+        seed: int = 0,
+        *,
+        burst: int = 20,
+    ) -> None:
+        if len(workloads) != len(weights) or not workloads:
+            raise ValueError("need matching, non-empty workloads/weights")
+        if burst <= 0:
+            raise ValueError("burst must be positive")
+        super().__init__(workloads[0].base_address, seed)
+        self.workloads = list(workloads)
+        total = float(sum(weights))
+        self.weights = [w / total for w in weights]
+        self.burst = burst
+
+    @classmethod
+    def typical(cls, base_address: int = 0x60_0000, seed: int = 0) -> "MixedWorkload":
+        """A plausible mix: mostly loops and biased checks, some pattern
+        and correlation."""
+        return cls(
+            [
+                LoopWorkload(base_address, seed),
+                BiasedWorkload(base_address + 0x1000, seed + 1),
+                PatternWorkload(base_address + 0x2000, seed + 2),
+                CorrelatedWorkload(base_address + 0x3000, seed + 3),
+            ],
+            weights=[0.45, 0.35, 0.1, 0.1],
+            seed=seed,
+        )
+
+    def branches(self) -> Iterator[Branch]:
+        rng = np.random.default_rng(self.seed)
+        streams = [w.branches() for w in self.workloads]
+        while True:
+            index = int(rng.choice(len(streams), p=self.weights))
+            stream = streams[index]
+            for _ in range(self.burst):
+                yield next(stream)

@@ -1,0 +1,73 @@
+"""Shared fixtures.
+
+Tests default to *scaled-down* microarchitectures (smaller tables) so
+block compilation and calibration stay fast; behaviour-critical tests
+that depend on full-size geometry build their own cores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bpu import haswell, sandy_bridge, skylake
+from repro.bpu.presets import PredictorConfig
+from repro.cpu import PhysicalCore, Process
+
+
+#: Scale factor applied to table sizes for fast tests.
+TEST_SCALE = 16
+
+#: Block size that reliably randomises the scaled-down tables.
+SMALL_BLOCK = 8_000
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(params=["skylake", "haswell", "sandy_bridge"])
+def preset_name(request):
+    return request.param
+
+
+@pytest.fixture
+def full_config(preset_name) -> PredictorConfig:
+    return {
+        "skylake": skylake,
+        "haswell": haswell,
+        "sandy_bridge": sandy_bridge,
+    }[preset_name]()
+
+
+@pytest.fixture
+def small_config(full_config) -> PredictorConfig:
+    return full_config.scaled(TEST_SCALE)
+
+
+@pytest.fixture
+def core(small_config) -> PhysicalCore:
+    return PhysicalCore(small_config, seed=7)
+
+
+@pytest.fixture
+def haswell_core() -> PhysicalCore:
+    """A single deterministic small core for tests that don't need the
+    per-preset matrix."""
+    return PhysicalCore(haswell().scaled(TEST_SCALE), seed=7)
+
+
+@pytest.fixture
+def skylake_core() -> PhysicalCore:
+    return PhysicalCore(skylake().scaled(TEST_SCALE), seed=7)
+
+
+@pytest.fixture
+def spy() -> Process:
+    return Process("spy")
+
+
+@pytest.fixture
+def victim() -> Process:
+    return Process("victim")

@@ -1,0 +1,96 @@
+"""ASLR derandomisation via PHT collisions (paper §9.2)."""
+
+import numpy as np
+import pytest
+
+from repro.bpu import haswell
+from repro.core.aslr_attack import probe_collision, recover_load_base
+from repro.cpu import PhysicalCore, Process
+from repro.system import AslrConfig, AttackScheduler, NoiseSetting
+
+
+@pytest.fixture
+def core():
+    return PhysicalCore(haswell().scaled(16), seed=51)
+
+
+@pytest.fixture
+def spy():
+    return Process("spy")
+
+
+BRANCH_OFFSET = 0x1234  # branch's offset inside the victim binary
+
+
+def make_victim(core, rng, alignment=16, entropy_bits=8):
+    config = AslrConfig(entropy_bits=entropy_bits, alignment=alignment)
+    victim = config.randomized_process("victim", rng, link_base=0)
+    address = victim.branch_address(BRANCH_OFFSET)
+
+    def trigger():
+        # The victim's branch alternates, as a loop branch would.
+        trigger.count += 1
+        core.execute_branch(victim, address, trigger.count % 3 != 0)
+
+    trigger.count = 0
+    return config, victim, trigger
+
+
+class TestProbeCollision:
+    def test_high_score_at_true_address(self, core, spy, rng):
+        _, victim, trigger = make_victim(core, rng)
+        true_address = victim.branch_address(BRANCH_OFFSET)
+        scheduler = AttackScheduler(core, NoiseSetting.SILENT)
+        score = probe_collision(
+            core, spy, true_address, trigger, trials=8, scheduler=scheduler
+        )
+        assert score >= 0.5
+
+    def test_low_score_at_unrelated_address(self, core, spy, rng):
+        _, victim, trigger = make_victim(core, rng)
+        wrong = victim.branch_address(BRANCH_OFFSET) + 7  # different entry
+        scheduler = AttackScheduler(core, NoiseSetting.SILENT)
+        score = probe_collision(
+            core, spy, wrong, trigger, trials=8, scheduler=scheduler
+        )
+        assert score <= 0.25
+
+
+class TestRecoverLoadBase:
+    def test_true_congruence_class_wins(self, core, spy, rng):
+        config, victim, trigger = make_victim(core, rng)
+        candidates = [
+            slot * config.alignment for slot in range(config.slots)
+        ]
+        scheduler = AttackScheduler(core, NoiseSetting.SILENT)
+        scores = recover_load_base(
+            core,
+            spy,
+            BRANCH_OFFSET,
+            trigger,
+            candidates,
+            trials=6,
+            scheduler=scheduler,
+        )
+        pht = core.predictor.bimodal.pht.n_entries
+        true_class = victim.branch_address(BRANCH_OFFSET) % pht
+        assert scores[0].candidate_address % pht == true_class
+
+    def test_candidates_deduplicated_by_congruence(self, core, spy, rng):
+        config, victim, trigger = make_victim(core, rng)
+        pht = core.predictor.bimodal.pht.n_entries
+        candidates = [0, pht, 2 * pht, 16]  # three alias to one class
+        scores = recover_load_base(
+            core, spy, BRANCH_OFFSET, trigger, candidates, trials=2,
+            scheduler=AttackScheduler(core, NoiseSetting.SILENT),
+        )
+        assert len(scores) == 2
+
+    def test_entropy_reduction_matches_table_size(self, core):
+        """The attack learns log2(PHT size) - log2(alignment) bits."""
+        pht = core.predictor.bimodal.pht.n_entries
+        config = AslrConfig(entropy_bits=10, alignment=16)
+        distinguishable = pht // config.alignment
+        assert distinguishable == 2 ** (
+            int(np.log2(pht)) - int(np.log2(config.alignment))
+        )

@@ -1,0 +1,134 @@
+"""Tagged cache-like structures: BTB, branch identification table, i-cache."""
+
+import pytest
+
+from repro.bpu.bit import BranchIdentificationTable
+from repro.bpu.btb import BranchTargetBuffer
+from repro.cpu.icache import InstructionCache
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(64)
+        assert btb.lookup(0x400000) is None
+        btb.allocate(0x400000, 0x400100)
+        entry = btb.lookup(0x400000)
+        assert entry is not None and entry.target == 0x400100
+
+    def test_aliasing_address_with_different_tag_misses(self):
+        btb = BranchTargetBuffer(64)
+        btb.allocate(0x400000, 0x1)
+        assert btb.lookup(0x400000 + 64) is None  # same set, other tag
+
+    def test_conflict_eviction(self):
+        btb = BranchTargetBuffer(64)
+        btb.allocate(0x400000, 0x1)
+        btb.allocate(0x400000 + 64, 0x2)  # same set
+        assert btb.lookup(0x400000) is None
+        assert btb.lookup(0x400000 + 64).target == 0x2
+
+    def test_evict_and_flush(self):
+        btb = BranchTargetBuffer(64)
+        btb.allocate(0x10, 0x1)
+        btb.evict(0x10)
+        assert btb.lookup(0x10) is None
+        btb.allocate(0x10, 0x1)
+        btb.allocate(0x20, 0x2)
+        btb.flush()
+        assert btb.lookup(0x10) is None and btb.lookup(0x20) is None
+
+    def test_snapshot_restore(self):
+        btb = BranchTargetBuffer(8)
+        btb.allocate(3, 99)
+        snap = btb.snapshot()
+        btb.flush()
+        btb.restore(snap)
+        assert btb.lookup(3).target == 99
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(0)
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(8, tag_bits=0)
+
+
+class TestBIT:
+    def test_insert_then_contains(self):
+        bit = BranchIdentificationTable(64)
+        assert not bit.contains(0x1234)
+        bit.insert(0x1234)
+        assert bit.contains(0x1234)
+
+    def test_aliasing_eviction_is_the_attack_lever(self):
+        """Executing another branch in the same set evicts the victim —
+        how the randomisation block forces 1-level mode (paper §5.2)."""
+        bit = BranchIdentificationTable(64)
+        victim = 0x400040
+        bit.insert(victim)
+        bit.insert(victim + 64)  # same set, different tag
+        assert not bit.contains(victim)
+
+    def test_evict_and_flush(self):
+        bit = BranchIdentificationTable(16)
+        bit.insert(5)
+        bit.evict(5)
+        assert not bit.contains(5)
+        bit.insert(5)
+        bit.flush()
+        assert not bit.contains(5)
+
+    def test_snapshot_restore(self):
+        bit = BranchIdentificationTable(16)
+        bit.insert(7)
+        snap = bit.snapshot()
+        bit.flush()
+        bit.restore(snap)
+        assert bit.contains(7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BranchIdentificationTable(0)
+
+
+class TestICache:
+    def test_first_fetch_misses_second_hits(self):
+        icache = InstructionCache(64)
+        assert not icache.fetch(0x400000)
+        assert icache.fetch(0x400000)
+
+    def test_line_granularity(self):
+        """Addresses on the same 64-byte line share presence."""
+        icache = InstructionCache(64)
+        icache.fetch(0x400000)
+        assert icache.contains(0x40003F)
+        assert not icache.contains(0x400040)
+
+    def test_evict(self):
+        icache = InstructionCache(64)
+        icache.fetch(0x1000)
+        icache.evict(0x1000)
+        assert not icache.contains(0x1000)
+
+    def test_flush(self):
+        icache = InstructionCache(64)
+        icache.fetch(0x1000)
+        icache.flush()
+        assert not icache.contains(0x1000)
+
+    def test_conflict_on_same_set(self):
+        icache = InstructionCache(n_sets=4, line_bytes=64)
+        icache.fetch(0)
+        icache.fetch(4 * 64)  # same set, different tag
+        assert not icache.contains(0)
+
+    def test_snapshot_restore(self):
+        icache = InstructionCache(16)
+        icache.fetch(0x40)
+        snap = icache.snapshot()
+        icache.flush()
+        icache.restore(snap)
+        assert icache.contains(0x40)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InstructionCache(0)

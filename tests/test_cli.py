@@ -1,0 +1,84 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_preset_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["covert", "--preset", "zen4"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["covert"])
+        assert args.preset == "skylake"
+        assert args.setting == "isolated"
+        assert args.bits == 500
+
+
+class TestCommands:
+    def test_presets(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        assert "skylake" in out and "sandy_bridge" in out
+        assert "16384" in out
+
+    def test_covert_silent(self, capsys):
+        assert (
+            main(
+                [
+                    "covert",
+                    "--bits", "60",
+                    "--setting", "silent",
+                    "--preset", "sandy_bridge",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "error rate 0.00%" in out
+
+    def test_attack(self, capsys):
+        assert (
+            main(
+                [
+                    "attack",
+                    "--bits", "24",
+                    "--setting", "silent",
+                    "--preset", "haswell",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "24/24 bits correct" in out
+
+    def test_fsm_table_skylake_footnote(self, capsys):
+        assert main(["fsm-table", "--preset", "skylake"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        row = next(
+            l for l in lines if l.startswith("TTT") and " N " in l and "NN" in l
+        )
+        assert row.rstrip().endswith("MM")  # footnote 1
+
+    def test_fsm_table_haswell_textbook(self, capsys):
+        assert main(["fsm-table", "--preset", "haswell"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        row = next(
+            l for l in lines if l.startswith("TTT") and " N " in l and "NN" in l
+        )
+        assert row.rstrip().endswith("MH")
+
+    def test_poison(self, capsys):
+        assert main(["poison", "--rounds", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "poisoned" in out

@@ -1,0 +1,166 @@
+"""Clock, TSC, counters, timing model, process."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.clock import CycleClock
+from repro.cpu.counters import CounterKind, CounterSample, PerformanceCounters
+from repro.cpu.process import Process
+from repro.cpu.timing import TimingModel
+from repro.cpu.tsc import TimestampCounter
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert CycleClock().now == 0
+
+    def test_advance(self):
+        clock = CycleClock()
+        clock.advance(10)
+        clock.advance(5)
+        assert clock.now == 15
+
+    def test_no_negative_time(self):
+        with pytest.raises(ValueError):
+            CycleClock().advance(-1)
+        with pytest.raises(ValueError):
+            CycleClock(start=-5)
+
+    def test_snapshot_restore(self):
+        clock = CycleClock()
+        clock.advance(100)
+        snap = clock.snapshot()
+        clock.advance(50)
+        clock.restore(snap)
+        assert clock.now == 100
+
+
+class TestTSC:
+    def test_read_returns_current_time(self):
+        clock = CycleClock(start=42)
+        tsc = TimestampCounter(clock)
+        assert tsc.read() == 42
+
+    def test_read_overhead_advances_clock(self):
+        clock = CycleClock()
+        tsc = TimestampCounter(clock, read_overhead=30)
+        tsc.read()
+        assert clock.now == 30
+
+    def test_time_brackets_a_callable(self):
+        clock = CycleClock()
+        tsc = TimestampCounter(clock)
+        result, cycles = tsc.time(lambda: clock.advance(77) and "done")
+        assert cycles == 77
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            TimestampCounter(CycleClock(), read_overhead=-1)
+
+
+class TestCounters:
+    def test_increment_and_read(self):
+        counters = PerformanceCounters()
+        counters.increment(CounterKind.BRANCHES)
+        counters.increment(CounterKind.BRANCH_MISSES, 3)
+        assert counters.read(CounterKind.BRANCHES) == 1
+        assert counters.read(CounterKind.BRANCH_MISSES) == 3
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            PerformanceCounters().increment(CounterKind.BRANCHES, -1)
+
+    def test_sample_delta(self):
+        counters = PerformanceCounters()
+        before = counters.sample()
+        counters.increment(CounterKind.BRANCHES, 5)
+        counters.increment(CounterKind.CYCLES, 100)
+        delta = counters.sample().delta(before)
+        assert delta == CounterSample(branches=5, branch_misses=0, cycles=100)
+
+    def test_reset(self):
+        counters = PerformanceCounters()
+        counters.increment(CounterKind.CYCLES, 9)
+        counters.reset()
+        assert counters.read(CounterKind.CYCLES) == 0
+
+    def test_snapshot_restore(self):
+        counters = PerformanceCounters()
+        counters.increment(CounterKind.BRANCHES, 2)
+        snap = counters.snapshot()
+        counters.increment(CounterKind.BRANCHES, 2)
+        counters.restore(snap)
+        assert counters.read(CounterKind.BRANCHES) == 2
+
+
+class TestTimingModel:
+    def setup_method(self):
+        self.timing = TimingModel()
+        self.rng = np.random.default_rng(3)
+
+    def _mean(self, **kwargs):
+        return self.timing.sample_many(self.rng, 4000, **kwargs).mean()
+
+    def test_misprediction_costs_more(self):
+        hit = self._mean(mispredicted=False, cold=False, taken=False)
+        miss = self._mean(mispredicted=True, cold=False, taken=False)
+        assert miss - hit == pytest.approx(self.timing.miss_penalty, rel=0.2)
+
+    def test_misprediction_costs_more_for_taken_too(self):
+        """Figure 7: the slowdown is present regardless of direction."""
+        hit = self._mean(mispredicted=False, cold=False, taken=True)
+        miss = self._mean(mispredicted=True, cold=False, taken=True)
+        assert miss > hit
+
+    def test_cold_is_slower_and_noisier(self):
+        warm = self.timing.sample_many(
+            self.rng, 4000, mispredicted=False, cold=False, taken=False
+        )
+        cold = self.timing.sample_many(
+            self.rng, 4000, mispredicted=False, cold=True, taken=False
+        )
+        assert cold.mean() > warm.mean()
+        assert cold.std() > warm.std()
+
+    def test_latencies_positive(self):
+        samples = self.timing.sample_many(
+            self.rng, 1000, mispredicted=False, cold=False, taken=False
+        )
+        assert (samples >= 1).all()
+
+    def test_scalar_sample_in_plausible_band(self):
+        for _ in range(100):
+            latency = self.timing.sample(
+                self.rng, mispredicted=False, cold=False, taken=False
+            )
+            assert 1 <= latency < 1000
+
+    def test_figure7_band(self):
+        """Latencies roughly in the paper's 60-200 cycle band."""
+        samples = self.timing.sample_many(
+            self.rng, 4000, mispredicted=True, cold=False, taken=True
+        )
+        inside = ((samples > 50) & (samples < 250)).mean()
+        assert inside > 0.95
+
+
+class TestProcess:
+    def test_branch_address_relocation(self):
+        process = Process("p", load_base=0x500000, link_base=0x400000)
+        assert process.branch_address(0x401234) == 0x501234
+
+    def test_default_no_relocation(self):
+        process = Process("p")
+        assert process.branch_address(0x40AAAA) == 0x40AAAA
+
+    def test_pids_unique(self):
+        assert Process("a").pid != Process("b").pid
+
+    def test_protect_branch(self):
+        process = Process("p")
+        process.protect_branch(0x1234)
+        assert 0x1234 in process.protected_branches
+
+    def test_hashable(self):
+        a, b = Process("a"), Process("b")
+        assert len({a, b, a}) == 2

@@ -1,0 +1,123 @@
+"""Global history register and tournament selector."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bpu.ghr import GlobalHistoryRegister
+from repro.bpu.selector import Choice, SelectorTable
+
+
+class TestGHR:
+    def test_shift_in_builds_history(self):
+        ghr = GlobalHistoryRegister(4)
+        for taken in (True, False, True, True):
+            ghr.shift_in(taken)
+        assert ghr.value == 0b1011
+
+    def test_truncates_to_length(self):
+        ghr = GlobalHistoryRegister(3)
+        for _ in range(10):
+            ghr.shift_in(True)
+        assert ghr.value == 0b111
+
+    def test_clear(self):
+        ghr = GlobalHistoryRegister(8)
+        ghr.shift_in(True)
+        ghr.clear()
+        assert ghr.value == 0
+
+    def test_set_masks(self):
+        ghr = GlobalHistoryRegister(4)
+        ghr.set(0xFFFF)
+        assert ghr.value == 0xF
+
+    def test_snapshot_restore(self):
+        ghr = GlobalHistoryRegister(8)
+        ghr.shift_in(True)
+        snap = ghr.snapshot()
+        ghr.shift_in(False)
+        ghr.restore(snap)
+        assert ghr.value == snap
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalHistoryRegister(0)
+
+    @given(outcomes=st.lists(st.booleans(), min_size=1, max_size=40))
+    def test_value_is_last_n_outcomes(self, outcomes):
+        n = 8
+        ghr = GlobalHistoryRegister(n)
+        for taken in outcomes:
+            ghr.shift_in(taken)
+        expected = 0
+        for taken in outcomes[-n:]:
+            expected = ((expected << 1) | int(taken)) & ((1 << n) - 1)
+        assert ghr.value == expected
+
+
+class TestSelector:
+    def test_initial_choice_is_bimodal(self):
+        sel = SelectorTable(16, initial_counter=1)
+        assert sel.choose(0x100) is Choice.BIMODAL
+
+    def test_saturated_counter_chooses_gshare(self):
+        sel = SelectorTable(16, initial_counter=1)
+        for _ in range(sel.max_counter):
+            sel.update(0x100, bimodal_correct=False, gshare_correct=True)
+        assert sel.choose(0x100) is Choice.GSHARE
+
+    def test_agreement_does_not_move_counter(self):
+        sel = SelectorTable(16, initial_counter=1)
+        sel.update(0, bimodal_correct=True, gshare_correct=True)
+        sel.update(0, bimodal_correct=False, gshare_correct=False)
+        assert sel.counter(0) == 1
+
+    def test_counter_saturates_both_ends(self):
+        sel = SelectorTable(16, initial_counter=1)
+        for _ in range(20):
+            sel.update(0, bimodal_correct=True, gshare_correct=False)
+        assert sel.counter(0) == 0
+        for _ in range(20):
+            sel.update(0, bimodal_correct=False, gshare_correct=True)
+        assert sel.counter(0) == sel.max_counter
+
+    def test_reset_entry(self):
+        sel = SelectorTable(16, initial_counter=2)
+        for _ in range(5):
+            sel.update(3, bimodal_correct=False, gshare_correct=True)
+        sel.reset_entry(3)
+        assert sel.counter(3) == 2
+
+    def test_entries_are_aliased_by_modulo(self):
+        sel = SelectorTable(16, initial_counter=0)
+        sel.update(5, bimodal_correct=False, gshare_correct=True)
+        assert sel.counter(5 + 16) == 1
+
+    def test_snapshot_restore(self):
+        sel = SelectorTable(8)
+        sel.update(0, bimodal_correct=False, gshare_correct=True)
+        snap = sel.snapshot()
+        sel.reset()
+        sel.restore(snap)
+        assert sel.counter(0) == snap[0]
+
+    def test_counter_bits_validation(self):
+        with pytest.raises(ValueError):
+            SelectorTable(8, initial_counter=9, counter_bits=3)
+        with pytest.raises(ValueError):
+            SelectorTable(8, counter_bits=0)
+        with pytest.raises(ValueError):
+            SelectorTable(0)
+
+    def test_wider_counters_need_more_evidence(self):
+        narrow = SelectorTable(8, initial_counter=0, counter_bits=2)
+        wide = SelectorTable(8, initial_counter=0, counter_bits=4)
+        flips_narrow = flips_wide = 0
+        for i in range(20):
+            narrow.update(0, bimodal_correct=False, gshare_correct=True)
+            wide.update(0, bimodal_correct=False, gshare_correct=True)
+            if narrow.choose(0) is Choice.GSHARE and not flips_narrow:
+                flips_narrow = i + 1
+            if wide.choose(0) is Choice.GSHARE and not flips_wide:
+                flips_wide = i + 1
+        assert flips_narrow < flips_wide

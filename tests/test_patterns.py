@@ -1,0 +1,108 @@
+"""Probe patterns and the Table 1 state dictionary."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bpu.fsm import State, skylake_fsm, textbook_2bit_fsm
+from repro.core.patterns import (
+    DecodedState,
+    ProbeResult,
+    decode_state,
+    expected_probe_pattern,
+    state_signatures,
+)
+
+
+class TestProbeResult:
+    def test_pattern_rendering(self):
+        assert ProbeResult(True, True).pattern == "HH"
+        assert ProbeResult(False, True).pattern == "MH"
+        assert ProbeResult(True, False).pattern == "HM"
+        assert ProbeResult(False, False).pattern == "MM"
+
+    def test_from_pattern_roundtrip(self):
+        for pattern in ("HH", "MH", "HM", "MM"):
+            assert ProbeResult.from_pattern(pattern).pattern == pattern
+
+    def test_from_pattern_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            ProbeResult.from_pattern("XY")
+        with pytest.raises(ValueError):
+            ProbeResult.from_pattern("M")
+
+
+class TestExpectedProbePattern:
+    def test_empty_probe(self):
+        fsm = textbook_2bit_fsm()
+        pattern, level = expected_probe_pattern(fsm, 3, ())
+        assert pattern == "" and level == 3
+
+    def test_pattern_and_final_level(self):
+        fsm = textbook_2bit_fsm()
+        # From ST, two not-taken probes: miss (->WT), miss (->WN).
+        pattern, level = expected_probe_pattern(fsm, 3, (False, False))
+        assert pattern == "MM" and level == 1
+
+    @given(
+        outcomes=st.lists(st.booleans(), max_size=10),
+        start=st.integers(0, 3),
+    )
+    def test_length_matches_outcomes(self, outcomes, start):
+        fsm = textbook_2bit_fsm()
+        pattern, _ = expected_probe_pattern(fsm, start, outcomes)
+        assert len(pattern) == len(outcomes)
+
+
+class TestSignatures:
+    def test_textbook_table(self):
+        sigs = state_signatures(textbook_2bit_fsm())
+        assert sigs[("HH", "MM")] is DecodedState.ST
+        assert sigs[("HH", "MH")] is DecodedState.WT
+        assert sigs[("MH", "HH")] is DecodedState.WN
+        assert sigs[("MM", "HH")] is DecodedState.SN
+        assert sigs[("HH", "HH")] is DecodedState.DIRTY
+
+    def test_skylake_table_keeps_not_taken_side(self):
+        sigs = state_signatures(skylake_fsm())
+        assert sigs[("MH", "HH")] is DecodedState.WN
+        assert sigs[("MM", "HH")] is DecodedState.SN
+
+    def test_every_architectural_state_is_decodable(self):
+        for factory in (textbook_2bit_fsm, skylake_fsm):
+            fsm = factory()
+            decoded = set(state_signatures(fsm).values())
+            for state in (DecodedState.SN, DecodedState.WN, DecodedState.ST):
+                assert state in decoded
+
+    def test_skylake_post_st_weak_taken_reads_as_st(self):
+        """The paper's indistinguishability: WT reached from ST decodes ST."""
+        fsm = skylake_fsm()
+        level = fsm.step(fsm.saturate(True), False)  # ST -> sticky WT
+        tt, _ = expected_probe_pattern(fsm, level, (True, True))
+        nn, _ = expected_probe_pattern(fsm, level, (False, False))
+        assert decode_state(fsm, tt, nn) is DecodedState.ST
+
+
+class TestDecodeState:
+    def test_unknown_for_unlisted_signature(self):
+        fsm = textbook_2bit_fsm()
+        assert decode_state(fsm, "HM", "HM") is DecodedState.UNKNOWN
+
+    def test_dirty(self):
+        fsm = textbook_2bit_fsm()
+        assert decode_state(fsm, "HH", "HH") is DecodedState.DIRTY
+
+    def test_decode_matches_ground_truth_for_all_states(self):
+        """Prime an FSM into each state and decode it via probes."""
+        for factory in (textbook_2bit_fsm, skylake_fsm):
+            fsm = factory()
+            for state in State:
+                level = fsm.level_for(state)
+                tt, _ = expected_probe_pattern(fsm, level, (True, True))
+                nn, _ = expected_probe_pattern(fsm, level, (False, False))
+                decoded = decode_state(fsm, tt, nn)
+                assert decoded.value == state.name
+
+    def test_from_state(self):
+        assert DecodedState.from_state(State.ST) is DecodedState.ST
+        assert DecodedState.from_state(State.WN) is DecodedState.WN

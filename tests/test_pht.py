@@ -1,0 +1,134 @@
+"""Pattern history table behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bpu.fsm import State, skylake_fsm, textbook_2bit_fsm
+from repro.bpu.pht import PatternHistoryTable
+
+
+@pytest.fixture
+def pht():
+    return PatternHistoryTable(64, textbook_2bit_fsm())
+
+
+class TestConstruction:
+    def test_initial_state_everywhere(self):
+        pht = PatternHistoryTable(16, textbook_2bit_fsm(), State.ST)
+        assert all(pht.state(i) is State.ST for i in range(16))
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            PatternHistoryTable(0, textbook_2bit_fsm())
+
+    def test_len(self, pht):
+        assert len(pht) == 64
+
+
+class TestEntryOperations:
+    def test_update_moves_state(self, pht):
+        pht.set_state(3, State.SN)
+        pht.update(3, True)
+        assert pht.state(3) is State.WN
+
+    def test_predict_follows_state(self, pht):
+        pht.set_state(5, State.ST)
+        assert pht.predict(5)
+        pht.set_state(5, State.SN)
+        assert not pht.predict(5)
+
+    def test_set_level_and_level(self, pht):
+        pht.set_level(7, 2)
+        assert pht.level(7) == 2
+
+    def test_set_level_out_of_range(self, pht):
+        with pytest.raises(ValueError):
+            pht.set_level(0, 9)
+
+    def test_index_bounds(self, pht):
+        with pytest.raises(IndexError):
+            pht.predict(64)
+        with pytest.raises(IndexError):
+            pht.update(-1, True)
+
+    def test_updates_are_isolated_per_entry(self, pht):
+        before = pht.snapshot()
+        pht.update(10, True)
+        after = pht.snapshot()
+        changed = np.nonzero(before != after)[0]
+        assert changed.tolist() in ([], [10])
+
+
+class TestWholeTable:
+    def test_snapshot_restore_roundtrip(self, pht, rng):
+        pht.randomize(rng)
+        snap = pht.snapshot()
+        pht.update(0, True)
+        pht.randomize(rng)
+        pht.restore(snap)
+        assert (pht.levels == snap).all()
+
+    def test_snapshot_is_a_copy(self, pht):
+        snap = pht.snapshot()
+        pht.update(0, True)
+        pht.update(0, True)
+        assert not (snap == pht.levels).all() or pht.level(0) == snap[0]
+
+    def test_restore_shape_mismatch(self, pht):
+        with pytest.raises(ValueError):
+            pht.restore(np.zeros(3, dtype=np.int8))
+
+    def test_reset(self, pht, rng):
+        pht.randomize(rng)
+        pht.reset()
+        assert all(pht.state(i) is State.WN for i in range(len(pht)))
+
+    def test_randomize_covers_all_levels(self, rng):
+        pht = PatternHistoryTable(4096, skylake_fsm())
+        pht.randomize(rng)
+        assert set(np.unique(pht.levels)) == set(range(5))
+
+    def test_states_vectorised(self, pht):
+        pht.set_state(0, State.ST)
+        pht.set_state(1, State.SN)
+        states = pht.states()
+        assert states[0] == int(State.ST)
+        assert states[1] == int(State.SN)
+
+
+class TestReplayProperty:
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 15), st.booleans()), max_size=60
+        )
+    )
+    def test_update_sequence_equals_replay(self, ops):
+        """Applying a sequence then restoring and re-applying is identical."""
+        pht = PatternHistoryTable(16, textbook_2bit_fsm())
+        start = pht.snapshot()
+        for idx, taken in ops:
+            pht.update(idx, taken)
+        first = pht.snapshot()
+        pht.restore(start)
+        for idx, taken in ops:
+            pht.update(idx, taken)
+        assert (pht.snapshot() == first).all()
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 15), st.booleans()), max_size=60
+        )
+    )
+    def test_entries_evolve_independently(self, ops):
+        """Each entry's final level depends only on its own subsequence."""
+        pht = PatternHistoryTable(16, textbook_2bit_fsm())
+        fsm = pht.fsm
+        for idx, taken in ops:
+            pht.update(idx, taken)
+        for entry in range(16):
+            level = fsm.level_for(State.WN)
+            for idx, taken in ops:
+                if idx == entry:
+                    level = fsm.step(level, taken)
+            assert pht.level(entry) == level

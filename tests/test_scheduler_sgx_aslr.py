@@ -1,0 +1,132 @@
+"""OS substrate: scheduler, SGX enclave model, ASLR."""
+
+import numpy as np
+import pytest
+
+from repro.bpu import haswell
+from repro.cpu import PhysicalCore, Process
+from repro.system import (
+    AslrConfig,
+    AttackScheduler,
+    Enclave,
+    MaliciousOS,
+    NoiseSetting,
+)
+
+
+@pytest.fixture
+def core():
+    return PhysicalCore(haswell().scaled(16), seed=21)
+
+
+class TestNoiseSetting:
+    def test_every_setting_has_a_model(self):
+        for setting in NoiseSetting:
+            assert setting.model() is not None
+
+    def test_silent_model_is_silent(self, rng):
+        assert NoiseSetting.SILENT.model().gap_branches(rng) == 0
+
+
+class TestAttackScheduler:
+    def test_default_jitter_by_setting(self, core):
+        assert AttackScheduler(core, NoiseSetting.SILENT).victim_jitter == 0.0
+        assert AttackScheduler(core, NoiseSetting.QUIESCED).victim_jitter == 0.0
+        assert AttackScheduler(core, NoiseSetting.ISOLATED).victim_jitter > 0.0
+
+    def test_invalid_jitter_rejected(self, core):
+        with pytest.raises(ValueError):
+            AttackScheduler(core, NoiseSetting.SILENT, victim_jitter=1.5)
+
+    def test_stage_gap_injects_noise(self, core):
+        scheduler = AttackScheduler(core, NoiseSetting.NOISY)
+        before = core.predictor.bimodal.pht.snapshot()
+        total = sum(scheduler.stage_gap() for _ in range(10))
+        assert total > 0
+        assert (core.predictor.bimodal.pht.snapshot() != before).any()
+
+    def test_silent_stage_gap_is_noop(self, core):
+        scheduler = AttackScheduler(core, NoiseSetting.SILENT)
+        before = core.predictor.bimodal.pht.snapshot()
+        assert scheduler.stage_gap() == 0
+        assert (core.predictor.bimodal.pht.snapshot() == before).all()
+
+    def test_victim_turn_runs_exactly_once_without_jitter(self, core):
+        scheduler = AttackScheduler(core, NoiseSetting.SILENT)
+        calls = []
+        steps = scheduler.victim_turn(lambda: calls.append(1))
+        assert steps == 1 and len(calls) == 1
+
+    def test_victim_turn_jitter_produces_zero_or_double(self, core):
+        scheduler = AttackScheduler(
+            core, NoiseSetting.ISOLATED, victim_jitter=1.0
+        )
+        counts = set()
+        for _ in range(30):
+            calls = []
+            scheduler.victim_turn(lambda: calls.append(1))
+            counts.add(len(calls))
+        assert counts == {0, 2}
+
+
+class TestEnclave:
+    def test_secret_is_only_reachable_via_step(self, core):
+        secret = [True, False, True]
+        cursor = {"i": 0}
+
+        def step_fn(c):
+            bit = secret[cursor["i"]]
+            cursor["i"] += 1
+            c.execute_branch(enclave.process, 0x400100, bit)
+
+        enclave = Enclave(Process("sealed"), step_fn)
+        assert enclave.process.enclave
+        assert not hasattr(enclave, "secret")
+        enclave.step(core)
+        assert cursor["i"] == 1
+
+    def test_malicious_os_single_step_is_precise(self, core):
+        executed = []
+        enclave = Enclave(
+            Process("sealed"), lambda c: executed.append(1)
+        )
+        osctl = MaliciousOS(core)
+        for _ in range(5):
+            osctl.single_step(enclave)
+        assert len(executed) == 5
+
+    def test_quiesced_os_is_quieter_than_unquiesced(self, core):
+        quiet = MaliciousOS(core, quiesce=True)
+        loud = MaliciousOS(core, quiesce=False)
+        rng_draws_q = np.mean([quiet.stage_gap() for _ in range(100)])
+        rng_draws_l = np.mean([loud.stage_gap() for _ in range(100)])
+        assert rng_draws_q < rng_draws_l
+
+
+class TestAslr:
+    def test_base_respects_alignment_and_entropy(self, rng):
+        config = AslrConfig(entropy_bits=8, alignment=4096)
+        for _ in range(50):
+            base = config.randomize_base(0x400000, rng)
+            assert (base - 0x400000) % 4096 == 0
+            assert 0 <= (base - 0x400000) // 4096 < 256
+
+    def test_randomized_process_relocates_branches(self, rng):
+        config = AslrConfig(entropy_bits=8, alignment=4096)
+        process = config.randomized_process("victim", rng)
+        delta = process.load_base - process.link_base
+        assert process.branch_address(0x401000) == 0x401000 + delta
+
+    def test_bases_vary(self, rng):
+        config = AslrConfig(entropy_bits=12, alignment=16)
+        bases = {config.randomize_base(0, rng) for _ in range(40)}
+        assert len(bases) > 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AslrConfig(entropy_bits=0)
+        with pytest.raises(ValueError):
+            AslrConfig(alignment=0)
+
+    def test_slots(self):
+        assert AslrConfig(entropy_bits=10).slots == 1024

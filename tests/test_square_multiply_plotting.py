@@ -1,0 +1,120 @@
+"""Square-and-multiply victim and the plotting helpers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import bar_chart, curve, scatter
+from repro.bpu import haswell
+from repro.core.attack import BranchScope
+from repro.cpu import PhysicalCore, Process
+from repro.system.scheduler import NoiseSetting
+from repro.victims import SquareAndMultiplyVictim, square_and_multiply_pow
+
+
+class TestSquareAndMultiplyPow:
+    @given(
+        base=st.integers(0, 10_000),
+        exponent=st.integers(0, 10_000),
+        modulus=st.integers(2, 10_000),
+    )
+    @settings(max_examples=100)
+    def test_matches_builtin_pow(self, base, exponent, modulus):
+        assert square_and_multiply_pow(base, exponent, modulus) == pow(
+            base, exponent, modulus
+        )
+
+    def test_hook_sees_exponent_bits(self):
+        bits = []
+        square_and_multiply_pow(3, 0b11001, 1009, branch_hook=bits.append)
+        assert bits == [True, True, False, False, True]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            square_and_multiply_pow(2, 3, 0)
+        with pytest.raises(ValueError):
+            square_and_multiply_pow(2, -3, 7)
+
+
+class TestSquareAndMultiplyVictim:
+    def test_full_key_recovery(self):
+        core = PhysicalCore(haswell().scaled(16), seed=103)
+        key = 0xDEADBEEF
+        victim = SquareAndMultiplyVictim(key)
+        attack = BranchScope(
+            core,
+            Process("spy"),
+            victim.branch_address,
+            setting=NoiseSetting.SILENT,
+            block_branches=8000,
+        )
+        bits = attack.spy_on_bits(lambda: victim.step(core), victim.n_bits)
+        recovered = 0
+        for bit in bits:
+            recovered = (recovered << 1) | int(bit)
+        assert recovered == key
+        assert victim.result == pow(victim.base, key, victim.modulus)
+
+    def test_step_protocol(self):
+        core = PhysicalCore(haswell().scaled(16), seed=104)
+        victim = SquareAndMultiplyVictim(0b101)
+        assert victim.n_bits == 3
+        for _ in range(3):
+            victim.step(core)
+        assert victim.finished
+        with pytest.raises(RuntimeError):
+            victim.step(core)
+        victim.begin()
+        assert not victim.finished
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SquareAndMultiplyVictim(0)
+
+
+class TestPlotting:
+    def test_bar_chart_renders_all_items(self):
+        text = bar_chart(
+            [("hit", 72.0), ("miss", 110.0)], unit=" cyc", title="Figure 7"
+        )
+        assert "Figure 7" in text
+        assert "hit" in text and "miss" in text
+        # The larger value gets the longer bar.
+        hit_line = next(l for l in text.splitlines() if l.startswith("hit"))
+        miss_line = next(l for l in text.splitlines() if l.startswith("miss"))
+        assert miss_line.count("█") > hit_line.count("█")
+
+    def test_bar_chart_empty_raises(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+
+    def test_curve_shape(self):
+        text = curve(
+            [(i, float(10 - i)) for i in range(10)], height=5, title="decay"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "decay"
+        assert len([l for l in lines if "█" in l]) == 5
+
+    def test_curve_empty_raises(self):
+        with pytest.raises(ValueError):
+            curve([])
+
+    def test_scatter_places_extremes(self):
+        text = scatter(
+            [(0.0, 0.0), (1.0, 1.0)],
+            width=10,
+            height=5,
+            x_range=(0, 1),
+            y_range=(0, 1),
+        )
+        rows = [l for l in text.splitlines() if "│" in l]
+        assert rows[0].rstrip().endswith("o")  # top-right = (1,1)
+        assert rows[-1].split("│")[1][0] == "o"  # bottom-left = (0,0)
+
+    def test_scatter_degenerate_ranges(self):
+        text = scatter([(0.5, 0.5), (0.5, 0.5)])
+        assert "o" in text
+
+    def test_scatter_empty_raises(self):
+        with pytest.raises(ValueError):
+            scatter([])

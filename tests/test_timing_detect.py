@@ -1,0 +1,152 @@
+"""Timestamp-counter detection (paper §8, Figures 7-9)."""
+
+import numpy as np
+import pytest
+
+from repro.bpu import haswell
+from repro.bpu.fsm import State
+from repro.core.timing_detect import (
+    calibrate_timing,
+    latency_experiment,
+    probe_state_latencies,
+    timing_error_rate,
+)
+from repro.cpu import PhysicalCore, Process
+from repro.cpu.timing import TimingModel
+
+ADDRESS = 0x30_0006D
+
+
+@pytest.fixture
+def core():
+    return PhysicalCore(haswell().scaled(16), seed=17)
+
+
+@pytest.fixture
+def spy():
+    return Process("spy")
+
+
+class TestLatencyExperiment:
+    @pytest.mark.parametrize("taken", [True, False])
+    def test_miss_slower_than_hit_warm(self, core, spy, taken):
+        """Figure 7: misprediction slowdown present for both directions."""
+        hit = latency_experiment(
+            core, spy, ADDRESS, n=800, taken=taken, correct=True
+        )
+        miss = latency_experiment(
+            core, spy, ADDRESS, n=800, taken=taken, correct=False
+        )
+        assert miss.second.mean() > hit.second.mean()
+
+    def test_first_execution_noisier_than_second(self, core, spy):
+        samples = latency_experiment(
+            core, spy, ADDRESS, n=800, taken=True, correct=True
+        )
+        assert samples.first.std() > samples.second.std()
+        assert samples.first.mean() > samples.second.mean()
+
+    def test_correctness_of_scenario_setup(self, core, spy):
+        """The experiment really produces hits (and misses) as labelled."""
+        from repro.cpu.counters import CounterKind
+
+        counters = core.counters_for(spy)
+        before = counters.read(CounterKind.BRANCH_MISSES)
+        latency_experiment(core, spy, ADDRESS, n=50, taken=True, correct=True)
+        assert counters.read(CounterKind.BRANCH_MISSES) == before
+        latency_experiment(core, spy, ADDRESS, n=50, taken=True, correct=False)
+        assert counters.read(CounterKind.BRANCH_MISSES) == before + 100
+
+
+class TestTimingErrorRate:
+    def setup_method(self):
+        self.timing = TimingModel()
+        self.rng = np.random.default_rng(23)
+
+    def test_first_measurement_error_band(self):
+        """Figure 8: single first-measurement error in the 20-30% band."""
+        error = timing_error_rate(
+            self.timing, self.rng, n_measurements=1, measurement=1
+        )
+        assert 0.12 < error < 0.40
+
+    def test_second_measurement_error_band(self):
+        """Figure 8: single second-measurement error around 10%."""
+        error = timing_error_rate(
+            self.timing, self.rng, n_measurements=1, measurement=2
+        )
+        assert 0.02 < error < 0.20
+
+    def test_error_decreases_with_averaging(self):
+        errors = [
+            timing_error_rate(
+                self.timing, self.rng, n_measurements=n, measurement=2
+            )
+            for n in (1, 5, 10)
+        ]
+        assert errors[0] > errors[1] >= errors[2]
+
+    def test_error_near_zero_at_ten_measurements(self):
+        error = timing_error_rate(
+            self.timing, self.rng, n_measurements=10, measurement=2
+        )
+        assert error < 0.02
+
+    def test_first_worse_than_second(self):
+        first = timing_error_rate(
+            self.timing, self.rng, n_measurements=3, measurement=1
+        )
+        second = timing_error_rate(
+            self.timing, self.rng, n_measurements=3, measurement=2
+        )
+        assert first > second
+
+    def test_invalid_measurement_index(self):
+        with pytest.raises(ValueError):
+            timing_error_rate(
+                self.timing, self.rng, n_measurements=1, measurement=3
+            )
+
+
+class TestProbeStateLatencies:
+    def test_states_distinguishable_by_timing(self, core, spy):
+        """Figure 9: each probe variant separates the states it should."""
+        results = probe_state_latencies(core, spy, ADDRESS, n=400)
+        nn = results["NN"]
+        tt = results["TT"]
+        # NN probe: taken-side states mispredict (slow), not-taken hit.
+        assert nn[State.ST][0] > nn[State.SN][0]
+        # TT probe: the mirror image.
+        assert tt[State.SN][0] > tt[State.ST][0]
+
+    def test_second_measurement_reflects_fsm_evolution(self, core, spy):
+        """From WT, an NN probe misses then hits: first slow, second fast."""
+        results = probe_state_latencies(core, spy, ADDRESS, n=400)
+        mean_first, _, mean_second, _ = results["NN"][State.WT]
+        assert mean_first > mean_second
+
+
+class TestCalibrateTiming:
+    def test_threshold_between_means(self, core, spy):
+        calibration = calibrate_timing(core, spy, n=500)
+        assert calibration.hit_mean < calibration.threshold < calibration.miss_mean
+
+    def test_classification(self, core, spy):
+        calibration = calibrate_timing(core, spy, n=500)
+        assert calibration.is_miss(int(calibration.miss_mean))
+        assert not calibration.is_miss(int(calibration.hit_mean))
+
+    def test_detection_accuracy_on_fresh_samples(self, core, spy):
+        """The calibrated threshold classifies >85% of warm samples."""
+        calibration = calibrate_timing(core, spy, n=500)
+        hits = latency_experiment(
+            core, spy, 0x1234, n=400, taken=True, correct=True
+        ).second
+        misses = latency_experiment(
+            core, spy, 0x1234, n=400, taken=True, correct=False
+        ).second
+        hit_ok = np.mean([not calibration.is_miss(int(l)) for l in hits])
+        miss_ok = np.mean([calibration.is_miss(int(l)) for l in misses])
+        # Single warm measurements carry ~10% pairwise error (§8), which
+        # corresponds to ~80% single-sample threshold accuracy.
+        assert hit_ok > 0.72 and miss_ok > 0.72

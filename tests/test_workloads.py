@@ -1,0 +1,136 @@
+"""Workload generators and accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.bpu import haswell, skylake
+from repro.workloads import (
+    BiasedWorkload,
+    CorrelatedWorkload,
+    LoopWorkload,
+    MixedWorkload,
+    PatternWorkload,
+    measure_accuracy,
+)
+
+
+class TestLoopWorkload:
+    def test_back_edge_shape(self):
+        workload = LoopWorkload(0x1000, inner_iterations=3, outer_iterations=2)
+        trace = workload.take(8)  # one outer iteration = 3 inner + 1 outer
+        inner = [t for a, t in trace if a == 0x1000]
+        assert inner[:3] == [True, True, False]
+
+    def test_outer_branch_at_distinct_address(self):
+        workload = LoopWorkload(0x1000)
+        addresses = {a for a, _ in workload.take(100)}
+        assert addresses == {0x1000, 0x1040}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoopWorkload(0x1000, inner_iterations=1)
+
+    def test_deterministic(self):
+        assert LoopWorkload(0x1000, seed=3).take(50) == LoopWorkload(
+            0x1000, seed=3
+        ).take(50)
+
+
+class TestBiasedWorkload:
+    def test_bias_respected(self):
+        workload = BiasedWorkload(0x2000, seed=1, n_branches=4, bias=0.9)
+        trace = workload.take(4000)
+        per_address = {}
+        for address, taken in trace:
+            per_address.setdefault(address, []).append(taken)
+        for outcomes in per_address.values():
+            rate = np.mean(outcomes)
+            assert rate > 0.8 or rate < 0.2  # strongly biased either way
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BiasedWorkload(0x2000, bias=1.5)
+
+
+class TestPatternWorkload:
+    def test_single_address(self):
+        trace = PatternWorkload(0x3000, seed=2).take(40)
+        assert {a for a, _ in trace} == {0x3000}
+
+    def test_periodicity(self):
+        workload = PatternWorkload(0x3000, seed=2, pattern_bits=5)
+        trace = [t for _, t in workload.take(20)]
+        assert trace[:5] == trace[5:10] == trace[10:15]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PatternWorkload(0x3000, pattern_bits=1)
+
+
+class TestCorrelatedWorkload:
+    def test_xor_invariant(self):
+        trace = CorrelatedWorkload(0x4000, seed=3).take(300)
+        for i in range(0, len(trace), 3):
+            a, b, c = trace[i][1], trace[i + 1][1], trace[i + 2][1]
+            assert c == (a ^ b)
+
+    def test_a_and_b_unbiased(self):
+        trace = CorrelatedWorkload(0x4000, seed=3).take(3000)
+        a_outcomes = [t for i, (_, t) in enumerate(trace) if i % 3 == 0]
+        assert 0.4 < np.mean(a_outcomes) < 0.6
+
+
+class TestMixedWorkload:
+    def test_typical_mixes_all_families(self):
+        workload = MixedWorkload.typical(seed=4)
+        addresses = {a for a, _ in workload.take(4000)}
+        regions = {a >> 12 for a in addresses}
+        assert len(regions) >= 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MixedWorkload([], [])
+        with pytest.raises(ValueError):
+            MixedWorkload([LoopWorkload(0)], [1.0], burst=0)
+
+    def test_weights_normalised(self):
+        workload = MixedWorkload(
+            [LoopWorkload(0), BiasedWorkload(0x1000)], [2, 2]
+        )
+        assert workload.weights == [0.5, 0.5]
+
+
+class TestMeasureAccuracy:
+    def test_report_fields(self):
+        report = measure_accuracy(
+            haswell().scaled(16), LoopWorkload(0x1000), n_branches=2000
+        )
+        assert report.branches == 2000
+        assert 0.0 <= report.hybrid <= 1.0
+        assert report.workload == "loops"
+
+    def test_gshare_wins_patterns(self):
+        report = measure_accuracy(
+            skylake(), PatternWorkload(0x3000, seed=5), n_branches=3000
+        )
+        assert report.gshare > 0.9
+        assert report.bimodal < 0.75
+        assert report.best_component() == "gshare"
+
+    def test_bimodal_wins_biased(self):
+        report = measure_accuracy(
+            skylake(), BiasedWorkload(0x2000, seed=6), n_branches=3000
+        )
+        assert report.bimodal > report.gshare
+
+    def test_hybrid_tracks_best_component(self):
+        for workload in (
+            PatternWorkload(0x3000, seed=7),
+            BiasedWorkload(0x2000, seed=8),
+        ):
+            report = measure_accuracy(skylake(), workload, n_branches=3000)
+            assert report.hybrid >= max(report.bimodal, report.gshare) - 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_accuracy(haswell(), LoopWorkload(0), n_branches=0)
