@@ -1,0 +1,111 @@
+"""Perf smoke check: `RandomizationBlock.compile` at the paper's block size.
+
+The vectorized transition-monoid fold must keep block compilation at
+least ``--min-speedup`` times faster than the reference
+step-once-per-branch fold (the seed implementation) at 100k branches.
+Run standalone (CI does, failing the job on gross regression)::
+
+    PYTHONPATH=src python benchmarks/bench_compile_perf.py
+
+or under pytest alongside the other benches::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_compile_perf.py
+
+The differential tests in ``tests/test_fold_vectorized.py`` prove the
+two folds bit-exact; this file only guards the speed.
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bpu import haswell  # noqa: E402
+from repro.core.randomizer import (  # noqa: E402
+    PAPER_BLOCK_BRANCHES,
+    RandomizationBlock,
+    clear_compile_cache,
+)
+from repro.cpu import PhysicalCore, Process  # noqa: E402
+
+#: Acceptance target: vectorized compile >= 5x the reference fold.
+TARGET_SPEEDUP = 5.0
+
+
+def measure(n_branches: int = PAPER_BLOCK_BRANCHES, rounds: int = 3) -> dict:
+    """Best-of-``rounds`` timings of the compiled path vs the reference fold."""
+    core = PhysicalCore(haswell(), seed=1)
+    spy = Process("spy")
+    block = RandomizationBlock.generate(7, n_branches=n_branches)
+    fsm = core.predictor.bimodal.pht.fsm
+    n_entries = core.predictor.bimodal.pht.n_entries
+    indices = block._mapped_indices(0, None, n_entries)
+
+    compile_best = float("inf")
+    for _ in range(rounds):
+        clear_compile_cache()
+        start = time.perf_counter()
+        block.compile(core, spy)
+        compile_best = min(compile_best, time.perf_counter() - start)
+
+    # The seed implementation folded the block twice (bimodal + gshare);
+    # time one reference fold and charge it double.
+    start = time.perf_counter()
+    block.fold_map_reference(indices, n_entries, fsm.n_levels, fsm.step_table)
+    reference = 2 * (time.perf_counter() - start)
+
+    return {
+        "n_branches": n_branches,
+        "compile_seconds": compile_best,
+        "reference_seconds": reference,
+        "speedup": reference / compile_best,
+    }
+
+
+def _report(result: dict) -> str:
+    return (
+        f"RandomizationBlock.compile @ {result['n_branches']} branches\n"
+        f"  reference fold (seed impl): {result['reference_seconds']:.3f}s\n"
+        f"  vectorized compile:         {result['compile_seconds']:.3f}s\n"
+        f"  speedup:                    {result['speedup']:.1f}x "
+        f"(target >= {TARGET_SPEEDUP:.0f}x)"
+    )
+
+
+def test_compile_perf_smoke(benchmark):
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    from conftest import emit
+
+    emit("compile_perf", _report(result))
+    assert result["speedup"] >= TARGET_SPEEDUP
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--branches", type=int, default=PAPER_BLOCK_BRANCHES,
+        help="block size to compile (default: the paper's 100k)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=TARGET_SPEEDUP,
+        help="fail if compile is not this many times faster than the "
+        "reference fold (CI passes 3 to catch gross regressions only)",
+    )
+    args = parser.parse_args(argv)
+    result = measure(args.branches)
+    print(_report(result))
+    if result["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: speedup {result['speedup']:.1f}x below required "
+            f"{args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,12 +22,19 @@ per-microarchitecture configurations live in :mod:`repro.bpu.presets`.
 from repro.bpu.bimodal import BimodalPredictor
 from repro.bpu.bit import BranchIdentificationTable
 from repro.bpu.btb import BranchTargetBuffer
-from repro.bpu.fsm import FSMSpec, State, skylake_fsm, textbook_2bit_fsm
+from repro.bpu.fsm import (
+    FSMSpec,
+    State,
+    TransitionMonoid,
+    skylake_fsm,
+    textbook_2bit_fsm,
+)
 from repro.bpu.ghr import GlobalHistoryRegister
 from repro.bpu.gshare import GSharePredictor
 from repro.bpu.hybrid import Component, HybridPredictor, Prediction
 from repro.bpu.pht import PatternHistoryTable
 from repro.bpu.presets import (
+    PRESETS,
     PredictorConfig,
     haswell,
     sandy_bridge,
@@ -36,6 +43,7 @@ from repro.bpu.presets import (
 from repro.bpu.selector import SelectorTable
 
 __all__ = [
+    "PRESETS",
     "BimodalPredictor",
     "BranchIdentificationTable",
     "BranchTargetBuffer",
@@ -49,6 +57,7 @@ __all__ = [
     "PredictorConfig",
     "SelectorTable",
     "State",
+    "TransitionMonoid",
     "haswell",
     "sandy_bridge",
     "skylake",

@@ -25,6 +25,7 @@ application, see :mod:`repro.core.randomizer`).
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass, field
 from typing import Tuple
 
@@ -33,6 +34,7 @@ import numpy as np
 __all__ = [
     "State",
     "FSMSpec",
+    "TransitionMonoid",
     "textbook_2bit_fsm",
     "skylake_fsm",
 ]
@@ -109,9 +111,22 @@ class FSMSpec:
             [self.next_on_not_taken, self.next_on_taken], dtype=np.int8
         )
         public = np.array([int(s) for s in self.to_public], dtype=np.int8)
+        for arr in (predict, step, public):
+            arr.setflags(write=False)
         object.__setattr__(self, "_predict_arr", predict)
         object.__setattr__(self, "_step_arr", step)
         object.__setattr__(self, "_public_arr", public)
+
+    @property
+    def step_table(self) -> np.ndarray:
+        """Public read-only transition table, ``step_table[outcome, level]``.
+
+        Row 0 is the not-taken transition, row 1 the taken one.  This is
+        the supported way for vectorised consumers (noise injection, the
+        randomisation-block fold) to read the FSM's transitions; the
+        array is immutable so it can be shared freely.
+        """
+        return self._step_arr
 
     # -- scalar interface ------------------------------------------------
 
@@ -165,6 +180,160 @@ class FSMSpec:
     def public_array(self, levels: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`public_state`, as an int8 array of State values."""
         return self._public_arr[levels]
+
+    def transition_monoid(self) -> "TransitionMonoid":
+        """The (cached) composition monoid of this FSM's outcome maps.
+
+        See :class:`TransitionMonoid`; used by the randomisation-block
+        fast path to fold long outcome sequences without stepping the
+        FSM once per branch.
+        """
+        return _transition_monoid(self)
+
+
+@dataclass(frozen=True)
+class TransitionMonoid:
+    """Closure of an FSM's per-outcome transition maps under composition.
+
+    Each branch outcome applies a total function ``level -> level`` to
+    the PHT entry it hits.  Folding a sequence of outcomes through the
+    FSM is therefore a *composition* of such functions — and because an
+    ``n``-level FSM admits at most ``n**n`` distinct functions (far
+    fewer are actually reachable from the two generators), every
+    reachable composition can be encoded as a small integer id and
+    composed via one precomputed table lookup.  That turns the
+    randomisation block's 100k-branch fold into a segmented scan over
+    ids instead of a pure-Python loop over branches.
+
+    ``maps[i]`` is the level mapping of id ``i`` (id 0 is the identity),
+    ``outcome_ids[o]`` the id of a single step with outcome ``o`` (0 =
+    not-taken, 1 = taken), and ``compose_table[a, b]`` the id of "apply
+    ``a``, then ``b``".  All arrays are immutable.
+    """
+
+    n_levels: int
+    maps: np.ndarray
+    outcome_ids: np.ndarray
+    compose_table: np.ndarray
+
+    #: Id of the identity map (fixed by construction).
+    IDENTITY = 0
+
+    def compose(self, first, second):
+        """Id(s) of ``second ∘ first`` — apply ``first``, then ``second``."""
+        return self.compose_table[first, second]
+
+    def outcome_id_sequence(self, outcomes: np.ndarray) -> np.ndarray:
+        """Map ids of a boolean/0-1 outcome sequence, elementwise."""
+        return self.outcome_ids[np.asarray(outcomes, dtype=np.int64)]
+
+    def reduce(self, ids: np.ndarray) -> int:
+        """Compose a sequence of map ids left-to-right into one id."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0:
+            return self.IDENTITY
+        while ids.size > 1:
+            odd = ids.size % 2
+            paired = self.compose_table[
+                ids[: ids.size - odd : 2], ids[1::2]
+            ].astype(np.int64)
+            ids = np.concatenate([paired, ids[-1:]]) if odd else paired
+        return int(ids[0])
+
+    def fold_table(
+        self,
+        indices: np.ndarray,
+        outcomes: np.ndarray,
+        n_entries: int,
+    ) -> np.ndarray:
+        """Fold an outcome stream into per-entry transition maps.
+
+        ``indices[i]`` is the table entry branch ``i`` hits and
+        ``outcomes[i]`` its direction; the result is the dense map
+        ``table[entry, initial_level] -> final_level`` (identity rows
+        for untouched entries) — bit-exact with stepping the FSM once
+        per branch in program order.
+
+        Implementation: branches are stably sorted by entry, each
+        outcome becomes its map id, and a segmented Hillis-Steele scan
+        composes ids pairwise at doubling offsets, so the whole fold is
+        ``O(N log N)`` vectorised table lookups.
+        """
+        table = np.tile(
+            np.arange(self.n_levels, dtype=np.int8), (int(n_entries), 1)
+        )
+        indices = np.asarray(indices, dtype=np.int64)
+        n = indices.size
+        if n == 0:
+            return table
+        order = np.argsort(indices, kind="stable")
+        seg = indices[order]
+        vals = self.outcome_id_sequence(outcomes)[order].astype(np.int64)
+        offset = 1
+        while offset < n:
+            # Compose with the value `offset` places back when it belongs
+            # to the same segment; sortedness makes that test sufficient,
+            # and a position whose lookback crosses its segment start is
+            # already fully reduced (its guard fails), so nothing is ever
+            # double-counted.
+            same = seg[offset:] == seg[:-offset]
+            vals[offset:] = np.where(
+                same,
+                self.compose_table[vals[:-offset], vals[offset:]],
+                vals[offset:],
+            )
+            offset *= 2
+        last = np.empty(n, dtype=bool)
+        last[-1] = True
+        last[:-1] = seg[1:] != seg[:-1]
+        table[seg[last]] = self.maps[vals[last]]
+        return table
+
+
+#: Safety valve for degenerate FSM specs: the composition table is
+#: quadratic in the monoid size, so refuse to materialise huge ones
+#: (the shipped counters generate well under a hundred maps).
+_MONOID_SIZE_LIMIT = 1024
+
+
+@functools.lru_cache(maxsize=None)
+def _transition_monoid(spec: FSMSpec) -> TransitionMonoid:
+    n = spec.n_levels
+    identity = tuple(range(n))
+    generators = (tuple(spec.next_on_not_taken), tuple(spec.next_on_taken))
+    ids = {identity: 0}
+    order = [identity]
+    frontier = [identity]
+    while frontier:
+        fresh = []
+        for mapping in frontier:
+            for gen in generators:
+                composed = tuple(gen[level] for level in mapping)
+                if composed not in ids:
+                    ids[composed] = len(order)
+                    order.append(composed)
+                    fresh.append(composed)
+        if len(order) > _MONOID_SIZE_LIMIT:
+            raise RuntimeError(
+                f"{spec.name}: transition monoid exceeds "
+                f"{_MONOID_SIZE_LIMIT} maps"
+            )
+        frontier = fresh
+    maps = np.array(order, dtype=np.int8)
+    outcome_ids = np.array([ids[g] for g in generators], dtype=np.int64)
+    size = len(order)
+    compose_table = np.empty((size, size), dtype=np.int16)
+    for a, first in enumerate(order):
+        for b, second in enumerate(order):
+            compose_table[a, b] = ids[tuple(second[level] for level in first)]
+    for arr in (maps, outcome_ids, compose_table):
+        arr.setflags(write=False)
+    return TransitionMonoid(
+        n_levels=n,
+        maps=maps,
+        outcome_ids=outcome_ids,
+        compose_table=compose_table,
+    )
 
 
 def textbook_2bit_fsm() -> FSMSpec:

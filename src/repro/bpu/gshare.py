@@ -53,12 +53,25 @@ class GSharePredictor:
         """Direction prediction for the branch at ``address``."""
         return self.pht.predict(self.index(address, key, partition))
 
-    def update(self, address: int, taken: bool, key: int = 0) -> None:
-        """Train the entry selected by the current history.
+    def update(
+        self,
+        address: int,
+        taken: bool,
+        key: int = 0,
+        partition: Optional[Partition] = None,
+        index: Optional[int] = None,
+    ) -> None:
+        """Train the entry that produced the prediction.
 
-        Note: callers must update the PHT *before* shifting the outcome
-        into the GHR, so that training touches the same entry that
-        produced the prediction.  :class:`repro.bpu.hybrid.HybridPredictor`
-        enforces this ordering.
+        When the caller recorded the prediction-time index (the hybrid
+        predictor does, in :class:`~repro.bpu.hybrid.Prediction`), pass
+        it as ``index`` so training hits exactly that entry even if the
+        GHR has since moved.  Otherwise the index is recomputed under
+        the *current* history and the same ``key``/``partition`` used at
+        prediction time — callers must then update the PHT *before*
+        shifting the outcome into the GHR.  (Omitting ``partition`` for
+        a partitioned context would train outside the context's slice.)
         """
-        self.pht.update(self.index(address, key), taken)
+        if index is None:
+            index = self.index(address, key, partition)
+        self.pht.update(index, taken)

@@ -129,22 +129,39 @@ class HybridPredictor:
         address: int,
         taken: bool,
         prediction: Prediction,
-        key: int = 0,
+        *,
         target: Optional[int] = None,
+        train_outcome: Optional[bool] = None,
     ) -> None:
         """Resolve a branch: train every structure with the actual outcome.
 
         Must be called with the :class:`Prediction` returned by the
         matching :meth:`predict` call so the same PHT entries are trained
-        that produced the prediction (the GHR may have moved otherwise).
+        that produced the prediction (the GHR may have moved otherwise);
+        the recorded per-component indices already encode any index key
+        or partition in force at prediction time.
+
+        ``train_outcome`` is the outcome recorded into the PHT FSMs,
+        normally the architectural outcome ``taken``.  The stochastic-FSM
+        mitigation (§10.2) passes a possibly-corrupted value: only PHT
+        contents become unreliable, while selector training, the GHR,
+        identification-table insertion and BTB allocation — everything an
+        in-order resolution derives from the *architectural* outcome —
+        still use the true one.
 
         A cold branch (identification-table miss) was forced onto the
         1-level predictor, so no component competition happened: its
         chooser entry is *reset* to the initial bias rather than trained
         (§5.1 — a new branch starts its life in 1-level mode).
+
+        This is the single training path: :meth:`execute` and
+        :meth:`repro.cpu.core.PhysicalCore.execute_branch` both resolve
+        through here, so the select/train/GHR/BIT/BTB sequence exists
+        exactly once.
         """
-        self.bimodal.pht.update(prediction.bimodal_index, taken)
-        self.gshare.pht.update(prediction.gshare_index, taken)
+        train = taken if train_outcome is None else train_outcome
+        self.bimodal.pht.update(prediction.bimodal_index, train)
+        self.gshare.update(address, train, index=prediction.gshare_index)
         if prediction.cold:
             self.selector.reset_entry(address)
         else:
@@ -168,7 +185,7 @@ class HybridPredictor:
     ) -> Prediction:
         """Predict then immediately resolve one branch; returns the prediction."""
         prediction = self.predict(address, key, partition)
-        self.update(address, taken, prediction, key=key, target=target)
+        self.update(address, taken, prediction, target=target)
         return prediction
 
     # -- introspection (simulator-level, not attacker-visible) --------------

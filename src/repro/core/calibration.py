@@ -158,7 +158,10 @@ def find_block(
     the PHT until the block is found that leaves the target PHT entry in
     the desired state" (§6.2).  Candidates whose transition-map row does
     not *pin* the target entry to the desired state are discarded with a
-    cheap analytical check before the full stability assessment runs.
+    cheap analytical check before the full stability assessment runs,
+    and surviving candidates compile through the process-wide
+    compiled-block cache (see :meth:`RandomizationBlock.compile`), so
+    repeated searches over the same seed range cost one compile each.
     Raises :class:`CalibrationError` after ``max_candidates`` failures.
     """
     fsm = core.predictor.bimodal.pht.fsm

@@ -45,12 +45,24 @@ misses the branch identification table):
 * **clock / spy counters**: charged a deterministic per-branch estimate
   (cold fetch + ~50% mispredictions); only counter *deltas* around probe
   branches are ever read, so absolute drift is unobservable.
+
+The folds themselves run vectorised: each outcome is a transition *map*
+on FSM levels, maps compose through the FSM's precomputed
+:class:`~repro.bpu.fsm.TransitionMonoid` table, and a segmented scan
+reduces each entry's map sequence in ``O(N log N)`` array ops instead
+of a pure-Python loop over 100k branches (bit-exact with the reference
+loop, see ``tests/test_fold_vectorized.py``).  Compiled blocks are
+additionally memoised in a bounded LRU keyed on ``(block fingerprint,
+core config, key, partition, timing model)`` so calibration searches
+and covert-channel benches never recompile an identical block.
 """
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -58,7 +70,14 @@ from repro.cpu.core import BranchExecution, PhysicalCore
 from repro.cpu.counters import CounterKind
 from repro.cpu.process import Process
 
-__all__ = ["RandomizationBlock", "CompiledBlock", "PAPER_BLOCK_BRANCHES"]
+__all__ = [
+    "RandomizationBlock",
+    "CompiledBlock",
+    "PAPER_BLOCK_BRANCHES",
+    "COMPILE_CACHE_MAXSIZE",
+    "clear_compile_cache",
+    "compile_cache_info",
+]
 
 #: Default virtual address the generated block is "linked" at — an
 #: otherwise unused region of the spy's address space.
@@ -66,6 +85,32 @@ DEFAULT_BLOCK_BASE = 0x10000000
 
 #: Paper §5.2: "executing 100,000 branch instructions is sufficient".
 PAPER_BLOCK_BRANCHES = 100_000
+
+#: Bound on the compiled-block cache below.  Each compiled 16k-entry
+#: block holds a few MB of transition maps, so the cache is LRU-bounded
+#: rather than unbounded.
+COMPILE_CACHE_MAXSIZE = 64
+
+# (block fingerprint, core geometry, key, partition, timing) -> CompiledBlock.
+_compile_cache: "OrderedDict[Tuple, CompiledBlock]" = OrderedDict()
+_compile_cache_stats: Dict[str, int] = {"hits": 0, "misses": 0}
+
+
+def clear_compile_cache() -> None:
+    """Empty the process-wide compiled-block cache and its statistics."""
+    _compile_cache.clear()
+    _compile_cache_stats["hits"] = 0
+    _compile_cache_stats["misses"] = 0
+
+
+def compile_cache_info() -> Dict[str, int]:
+    """Hit/miss/size statistics of the compiled-block cache."""
+    return {
+        "hits": _compile_cache_stats["hits"],
+        "misses": _compile_cache_stats["misses"],
+        "size": len(_compile_cache),
+        "maxsize": COMPILE_CACHE_MAXSIZE,
+    }
 
 
 @dataclass(frozen=True)
@@ -109,6 +154,22 @@ class RandomizationBlock:
     def __len__(self) -> int:
         return len(self.addresses)
 
+    def fingerprint(self) -> str:
+        """Content hash of the block (cached); the compile-cache identity.
+
+        Covers addresses and outcomes, so two blocks share compiled
+        artifacts only when their effect is genuinely identical —
+        ``seed`` alone would not protect directly constructed blocks.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(np.ascontiguousarray(self.addresses).tobytes())
+            digest.update(np.ascontiguousarray(self.outcomes).tobytes())
+            cached = f"{self.seed}:{len(self)}:{digest.hexdigest()}"
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
     # -- exact path -----------------------------------------------------------
 
     def execute(
@@ -126,15 +187,18 @@ class RandomizationBlock:
         """GHR value seen by each branch, assuming all-zero initial history.
 
         ``trajectory[i]`` is the register contents when branch ``i``
-        predicts — i.e. the outcomes of branches ``i-ghr_bits .. i-1``.
+        predicts — i.e. the outcomes of branches ``i-ghr_bits .. i-1``
+        (the shift register is a sliding window, so the value is a
+        weighted sum of the last ``ghr_bits`` outcomes with the most
+        recent in the least-significant bit).
         """
         n = len(self.outcomes)
         trajectory = np.zeros(n, dtype=np.int64)
-        mask = (1 << ghr_bits) - 1
-        value = 0
-        for i in range(n):
-            trajectory[i] = value
-            value = ((value << 1) | int(self.outcomes[i])) & mask
+        lagged = self.outcomes.astype(np.int64)
+        for lag in range(1, ghr_bits + 1):
+            if lag > n:
+                break
+            trajectory[lag:] += lagged[:-lag] << (lag - 1)
         return trajectory
 
     def _mapped_indices(
@@ -161,14 +225,12 @@ class RandomizationBlock:
         key = core.mitigations.pht_key(process)
         partition = core.mitigations.partition(process)
         predictor = core.predictor
-        fsm = predictor.bimodal.pht.fsm
+        monoid = predictor.bimodal.pht.fsm.transition_monoid()
         n_entries = predictor.bimodal.pht.n_entries
         target = predictor.bimodal.index(address, key, partition)
         indices = self._mapped_indices(key, partition, n_entries)
-        row = np.arange(fsm.n_levels, dtype=np.int8)
-        for out in self.outcomes[indices == target].astype(np.int8):
-            row = fsm._step_arr[out, row]
-        return row
+        ids = monoid.outcome_id_sequence(self.outcomes[indices == target])
+        return monoid.maps[monoid.reduce(ids)].copy()
 
     def compile(self, core: PhysicalCore, process: Process) -> "CompiledBlock":
         """Precompute this block's effect on ``core`` for ``process``.
@@ -176,21 +238,39 @@ class RandomizationBlock:
         The result is bound to the core's geometry and the process's
         mitigation view (index key / partition); see the module docstring
         for what is exact and what is approximate.
+
+        Results are memoised in a process-wide LRU cache keyed on
+        ``(block fingerprint, core config, key, partition, timing
+        model)`` — everything the compiled artifact depends on — so the
+        §6.2 calibration search and the covert-channel benches stop
+        recompiling identical blocks.  Cached :class:`CompiledBlock`
+        instances are immutable and safe to share across cores of the
+        same configuration.
         """
         key = core.mitigations.pht_key(process)
         partition = core.mitigations.partition(process)
+        cache_key = (
+            self.fingerprint(),
+            core.config,
+            key,
+            partition,
+            core.timing,
+        )
+        cached = _compile_cache.get(cache_key)
+        if cached is not None:
+            _compile_cache.move_to_end(cache_key)
+            _compile_cache_stats["hits"] += 1
+            return cached
+        _compile_cache_stats["misses"] += 1
+
         predictor = core.predictor
-        fsm = predictor.bimodal.pht.fsm
-        step_table = fsm._step_arr
+        monoid = predictor.bimodal.pht.fsm.transition_monoid()
 
         bimodal_indices = self._mapped_indices(
             key, partition, predictor.bimodal.pht.n_entries
         )
-        bimodal_map = self._fold_map(
-            bimodal_indices,
-            predictor.bimodal.pht.n_entries,
-            fsm.n_levels,
-            step_table,
+        bimodal_map = monoid.fold_table(
+            bimodal_indices, self.outcomes, predictor.bimodal.pht.n_entries
         )
 
         ghr_bits = predictor.ghr.length
@@ -203,9 +283,7 @@ class RandomizationBlock:
             gshare_indices = (
                 partition.offset + (mixed % partition.size)
             ).astype(np.int64)
-        gshare_map = self._fold_map(
-            gshare_indices, gshare_n, fsm.n_levels, step_table
-        )
+        gshare_map = monoid.fold_table(gshare_indices, self.outcomes, gshare_n)
 
         # Final GHR = the block's last ghr_bits outcomes.
         final_ghr = 0
@@ -231,7 +309,9 @@ class RandomizationBlock:
             + 0.5 * timing.taken_extra
         )
         n = len(self)
-        return CompiledBlock(
+        for arr in (bimodal_map, gshare_map, selector_touched, bit_sets, bit_tags):
+            arr.setflags(write=False)
+        compiled = CompiledBlock(
             block=self,
             config_name=core.config.name,
             key=key,
@@ -245,15 +325,26 @@ class RandomizationBlock:
             cycles=int(n * per_branch),
             mispredictions=n // 2,
         )
+        _compile_cache[cache_key] = compiled
+        while len(_compile_cache) > COMPILE_CACHE_MAXSIZE:
+            _compile_cache.popitem(last=False)
+        return compiled
 
-    def _fold_map(
+    def fold_map_reference(
         self,
         indices: np.ndarray,
         n_entries: int,
         n_levels: int,
         step_table: np.ndarray,
     ) -> np.ndarray:
-        """Fold the block into ``map[entry, initial] -> final`` levels."""
+        """Fold the block into ``map[entry, initial] -> final`` levels.
+
+        Reference implementation: steps the FSM once per branch in
+        program order, exactly as the hardware would.  The production
+        fold is :meth:`repro.bpu.fsm.TransitionMonoid.fold_table`; the
+        differential tests in ``tests/test_fold_vectorized.py`` assert
+        entry-for-entry equality between the two.
+        """
         fold = np.tile(np.arange(n_levels, dtype=np.int8), (n_entries, 1))
         outcomes = self.outcomes.astype(np.int8)
         for idx, out in zip(indices, outcomes):

@@ -171,27 +171,13 @@ class PhysicalCore:
             # GHR ordering, BTB allocation) still uses the true one, so
             # only PHT contents become unreliable for the attacker.
             train_outcome = self.mitigations.update_outcome(self.rng, taken)
-            self.predictor.bimodal.pht.update(
-                prediction.bimodal_index, train_outcome
+            self.predictor.update(
+                address,
+                taken,
+                prediction,
+                target=target,
+                train_outcome=train_outcome,
             )
-            self.predictor.gshare.pht.update(
-                prediction.gshare_index, train_outcome
-            )
-            if prediction.cold:
-                # Newly allocated branch: chooser starts from the initial
-                # bimodal bias instead of training (§5.1 semantics, see
-                # HybridPredictor.update).
-                self.predictor.selector.reset_entry(address)
-            else:
-                self.predictor.selector.update(
-                    address,
-                    bimodal_correct=(prediction.bimodal_taken == taken),
-                    gshare_correct=(prediction.gshare_taken == taken),
-                )
-            self.predictor.ghr.shift_in(taken)
-            self.predictor.bit.insert(address)
-            if taken and target is not None:
-                self.predictor.btb.allocate(address, target)
             static = False
 
         latency = self.timing.sample(
@@ -257,10 +243,18 @@ class PhysicalCore:
         }
 
     def restore(self, checkpoint: dict) -> None:
-        """Restore state captured by :meth:`checkpoint`."""
+        """Restore state captured by :meth:`checkpoint`.
+
+        A true rollback: counter files of processes first seen *after*
+        the checkpoint are dropped, so nothing accumulated since leaks
+        through (a fresh zeroed file is allocated on next use).
+        """
         self.predictor.restore(checkpoint["predictor"])
         self.icache.restore(checkpoint["icache"])
         self.clock.restore(checkpoint["clock"])
+        for pid in list(self._counters):
+            if pid not in checkpoint["counters"]:
+                del self._counters[pid]
         for pid, snapshot in checkpoint["counters"].items():
             if pid not in self._counters:
                 self._counters[pid] = PerformanceCounters()

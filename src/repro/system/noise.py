@@ -165,7 +165,7 @@ def inject_noise(
         return
     low, high = region
     predictor = core.predictor
-    step_table = predictor.bimodal.pht.fsm._step_arr
+    step_table = predictor.bimodal.pht.fsm.step_table
 
     addresses = rng.integers(low, high, size=n)
     outcomes = rng.integers(0, 2, size=n).astype(bool)
