@@ -40,7 +40,12 @@ class GlobalHistoryRegister:
         self.value = int(value) & self._mask
 
     def snapshot(self) -> int:
-        """Current raw contents (pair with :meth:`restore`)."""
+        """Current raw contents (pair with :meth:`restore`).
+
+        The register is a single integer, so snapshot and restore are
+        already O(1) — it is exempt from the write-journal delta machinery
+        the table-shaped components use (:mod:`repro.snapshot`).
+        """
         return self.value
 
     def restore(self, snapshot: int) -> None:

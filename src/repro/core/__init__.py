@@ -24,6 +24,11 @@ Modules map to the paper's structure:
 """
 
 from repro.core.attack import BranchScope, SpiedBit
+from repro.core.batch_probe import (
+    batch_decode_states,
+    batch_probe_signatures,
+    batch_scan_supported,
+)
 from repro.core.btb_attacks import (
     btb_direction_spy,
     btb_locate_branch,
@@ -44,7 +49,12 @@ from repro.core.patterns import (
     decode_state,
     expected_probe_pattern,
 )
-from repro.core.pht_map import estimate_pht_size, hamming_ratio_curve, scan_states
+from repro.core.pht_map import (
+    estimate_pht_size,
+    hamming_ratio_curve,
+    scan_states,
+    scan_states_reference,
+)
 from repro.core.poisoning import poison_branch, poisoning_experiment
 from repro.core.prime_probe import prime_direct, prime_sequence_for, probe_pair
 from repro.core.randomizer import CompiledBlock, RandomizationBlock
@@ -70,6 +80,9 @@ __all__ = [
     "SMTCovertChannel",
     "SpiedBit",
     "TimingCalibration",
+    "batch_decode_states",
+    "batch_probe_signatures",
+    "batch_scan_supported",
     "btb_direction_spy",
     "btb_locate_branch",
     "build_dictionary",
@@ -87,6 +100,7 @@ __all__ = [
     "probe_pair",
     "probe_state_latencies",
     "scan_states",
+    "scan_states_reference",
     "stability_experiment",
     "timing_error_rate",
 ]

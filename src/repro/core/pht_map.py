@@ -21,11 +21,15 @@ itself.  The paper's method:
 
 from __future__ import annotations
 
-from itertools import combinations
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.batch_probe import (
+    batch_decode_states,
+    batch_probe_signatures,
+    batch_scan_supported,
+)
 from repro.core.patterns import DecodedState, decode_state
 from repro.core.prime_probe import probe_pair
 from repro.core.randomizer import CompiledBlock
@@ -34,6 +38,7 @@ from repro.cpu.process import Process
 
 __all__ = [
     "scan_states",
+    "scan_states_reference",
     "hamming_ratio_curve",
     "estimate_pht_size",
 ]
@@ -46,22 +51,79 @@ def scan_states(
     compiled_block: CompiledBlock,
     *,
     exercise_outcome: Optional[bool] = None,
+    method: str = "auto",
 ) -> List[DecodedState]:
     """Decode the PHT state behind every address in ``addresses``.
 
-    Implements §6.3's scan.  The randomisation block is applied once and
-    the resulting microarchitectural state checkpointed; because probing
-    is destructive, each address's TT and NN probe variants run against a
-    restored copy of that state.  If ``exercise_outcome`` is given, a
-    branch is first placed and executed once at every address (the
-    paper's step 2) before the checkpoint is taken.
+    Implements §6.3's scan: apply the randomisation block, optionally
+    place-and-execute a branch at every address (the paper's step 2),
+    then decode each address's PHT entry with the two-variant probe
+    dictionary.
+
+    ``method`` selects the engine: ``"batch"`` computes every address's
+    probe signatures at once from the prepared predictor arrays
+    (:mod:`repro.core.batch_probe`), ``"reference"`` runs the scalar
+    probe/restore loop, and ``"auto"`` (default) uses the batch engine
+    whenever it is exact for the installed mitigations
+    (:func:`~repro.core.batch_probe.batch_scan_supported`) and falls
+    back to the reference otherwise.  The two engines return identical
+    state vectors — pinned differentially in
+    ``tests/test_batch_probe.py``.
     """
+    if method not in ("auto", "batch", "reference"):
+        raise ValueError(f"unknown scan method {method!r}")
+    supported = batch_scan_supported(core)
+    if method == "batch" and not supported:
+        raise ValueError(
+            "batch scan is not exact under an installed mitigation "
+            "(noisy counters / stochastic FSM); use method='auto'"
+        )
+    if method == "reference" or not supported:
+        return scan_states_reference(
+            core,
+            spy,
+            addresses,
+            compiled_block,
+            exercise_outcome=exercise_outcome,
+        )
+
     checkpoint = core.checkpoint()
+    compiled_block.apply(core, spy)
+    if exercise_outcome is not None:
+        # Kept scalar: the paper's step 2 is a genuine state preparation
+        # (its training effects feed the probes), not an observation.
+        for address in addresses:
+            core.execute_branch(spy, int(address), bool(exercise_outcome))
+    fsm = core.predictor.bimodal.pht.fsm
+    signatures = batch_probe_signatures(core, spy, addresses)
+    core.restore(checkpoint)
+    return batch_decode_states(fsm, *signatures)
+
+
+def scan_states_reference(
+    core: PhysicalCore,
+    spy: Process,
+    addresses: Sequence[int],
+    compiled_block: CompiledBlock,
+    *,
+    exercise_outcome: Optional[bool] = None,
+    full_restore: bool = False,
+) -> List[DecodedState]:
+    """Scalar §6.3 scan: simulate every probe, restore between them.
+
+    Because probing is destructive, each address's TT and NN probe
+    variants run against a restored copy of the prepared state.  This is
+    the batch engine's differential reference; ``full_restore=True``
+    additionally forces plain full-copy checkpoints, disabling the
+    delta-restore fast path (the performance baseline the scan benchmark
+    gates against).
+    """
+    checkpoint = core.checkpoint(full=full_restore)
     compiled_block.apply(core, spy)
     if exercise_outcome is not None:
         for address in addresses:
             core.execute_branch(spy, int(address), bool(exercise_outcome))
-    prepared = core.checkpoint()
+    prepared = core.checkpoint(full=full_restore)
     fsm = core.predictor.bimodal.pht.fsm
 
     states: List[DecodedState] = []
@@ -93,6 +155,11 @@ def hamming_ratio_curve(
     subvector pairs (all pairs when fewer exist), divided by ``w`` so
     window sizes are comparable (the ratio the paper plots in Figure 5b).
     Windows that do not fit at least two subvectors are skipped.
+
+    Pair enumeration and Hamming distances are vectorised:
+    ``np.triu_indices`` lists (a, b) pairs in the same row-major order as
+    ``itertools.combinations``, so the sampled-pair RNG draw — and hence
+    the curve — is unchanged from the scalar implementation.
     """
     rng = rng if rng is not None else np.random.default_rng(0)
     encoded = _encode(states)
@@ -103,16 +170,13 @@ def hamming_ratio_curve(
         if w < 1 or n_sub < 2:
             continue
         subvectors = encoded[: n_sub * w].reshape(n_sub, w)
-        all_pairs = list(combinations(range(n_sub), 2))
-        if len(all_pairs) > max_pairs:
-            chosen = rng.choice(len(all_pairs), size=max_pairs, replace=False)
-            pairs = [all_pairs[i] for i in chosen]
-        else:
-            pairs = all_pairs
-        distances = [
-            int((subvectors[a] != subvectors[b]).sum()) for a, b in pairs
-        ]
-        curve[w] = float(np.mean(distances)) / w
+        first, second = np.triu_indices(n_sub, k=1)
+        if len(first) > max_pairs:
+            chosen = rng.choice(len(first), size=max_pairs, replace=False)
+            first = first[chosen]
+            second = second[chosen]
+        distances = (subvectors[first] != subvectors[second]).sum(axis=1)
+        curve[w] = float(distances.mean()) / w
     return curve
 
 

@@ -59,6 +59,7 @@ and covert-channel benches never recompile an identical block.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -101,6 +102,16 @@ def clear_compile_cache() -> None:
     _compile_cache.clear()
     _compile_cache_stats["hits"] = 0
     _compile_cache_stats["misses"] = 0
+
+
+@functools.lru_cache(maxsize=32)
+def _entry_indices(n_entries: int) -> np.ndarray:
+    """Read-only ``arange(n_entries)`` shared by every
+    :meth:`CompiledBlock.apply` gather (one allocation per table size
+    instead of two per application)."""
+    indices = np.arange(n_entries, dtype=np.int64)
+    indices.setflags(write=False)
+    return indices
 
 
 def compile_cache_info() -> Dict[str, int]:
@@ -193,13 +204,18 @@ class RandomizationBlock:
         recent in the least-significant bit).
         """
         n = len(self.outcomes)
-        trajectory = np.zeros(n, dtype=np.int64)
-        lagged = self.outcomes.astype(np.int64)
-        for lag in range(1, ghr_bits + 1):
-            if lag > n:
-                break
-            trajectory[lag:] += lagged[:-lag] << (lag - 1)
-        return trajectory
+        # Branch i sees outcomes[i-ghr_bits .. i-1]; left-padding with
+        # ghr_bits zeros makes every window full-width, so the whole
+        # trajectory is one sliding-window matmul against the bit weights
+        # (most recent outcome in the least-significant bit).
+        padded = np.zeros(n - 1 + ghr_bits, dtype=np.int64)
+        if n > 1:
+            padded[ghr_bits:] = self.outcomes[:-1]
+        windows = np.lib.stride_tricks.sliding_window_view(padded, ghr_bits)
+        weights = np.left_shift(
+            np.int64(1), np.arange(ghr_bits - 1, -1, -1, dtype=np.int64)
+        )
+        return windows[:n] @ weights
 
     def _mapped_indices(
         self, key: int, partition, n_entries: int, xor: int = 0
@@ -285,10 +301,15 @@ class RandomizationBlock:
             ).astype(np.int64)
         gshare_map = monoid.fold_table(gshare_indices, self.outcomes, gshare_n)
 
-        # Final GHR = the block's last ghr_bits outcomes.
-        final_ghr = 0
-        for out in self.outcomes[-ghr_bits:]:
-            final_ghr = ((final_ghr << 1) | int(out)) & ((1 << ghr_bits) - 1)
+        # Final GHR = the block's last ghr_bits outcomes (newest in the
+        # LSB); at most ghr_bits bits enter, so no mask is needed.
+        tail = self.outcomes[-ghr_bits:].astype(np.int64)
+        final_ghr = int(
+            tail
+            @ np.left_shift(
+                np.int64(1), np.arange(len(tail) - 1, -1, -1, dtype=np.int64)
+            )
+        )
 
         selector = predictor.selector
         selector_touched = np.unique(self.addresses % selector.n_entries)
@@ -380,14 +401,16 @@ class CompiledBlock:
         bimodal = predictor.bimodal.pht
         gshare = predictor.gshare.pht
         bimodal.levels = self.bimodal_map[
-            np.arange(bimodal.n_entries), bimodal.levels
+            _entry_indices(bimodal.n_entries), bimodal.levels
         ]
         gshare.levels = self.gshare_map[
-            np.arange(gshare.n_entries), gshare.levels
+            _entry_indices(gshare.n_entries), gshare.levels
         ]
         selector = predictor.selector
+        selector.record_touch(self.selector_touched)
         selector.counters[self.selector_touched] = selector._initial
         bit_table = predictor.bit
+        bit_table.record_touch(self.bit_sets)
         bit_table.valid[self.bit_sets] = True
         bit_table.tags[self.bit_sets] = self.bit_tags
         predictor.ghr.restore(self.ghr_end)

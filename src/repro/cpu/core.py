@@ -223,7 +223,7 @@ class PhysicalCore:
 
     # -- checkpointing ----------------------------------------------------------
 
-    def checkpoint(self) -> dict:
+    def checkpoint(self, *, full: bool = False) -> dict:
         """Deep copy of all microarchitectural state.
 
         Used by experiments that need to probe many addresses from one
@@ -231,13 +231,19 @@ class PhysicalCore:
         probe runs against a restored copy).  Does not capture the RNG:
         noise stays fresh across restores, as it would across repeated
         physical runs.
+
+        Snapshots carry per-component write-journal marks, making
+        :meth:`restore` cost O(state touched since the checkpoint); pass
+        ``full=True`` to force the seed's plain full-copy snapshots (the
+        delta-restore differential reference — both paths restore
+        identical state, pinned by ``tests/test_batch_probe.py``).
         """
         return {
-            "predictor": self.predictor.snapshot(),
-            "icache": self.icache.snapshot(),
+            "predictor": self.predictor.snapshot(full=full),
+            "icache": self.icache.snapshot(full=full),
             "clock": self.clock.snapshot(),
             "counters": {
-                pid: counters.snapshot()
+                pid: counters.snapshot(full=full)
                 for pid, counters in self._counters.items()
             },
         }

@@ -1,0 +1,369 @@
+"""Differential tests for the batch-probe scan engine and delta snapshots.
+
+Two invariants are pinned here:
+
+* the vectorised batch scan (:mod:`repro.core.batch_probe`) returns
+  exactly the state vector of the scalar probe/restore loop, on every
+  preset and under every fast-path-safe mitigation;
+* delta (journal-replay) restores leave state identical to the seed's
+  full-copy restores, including around external bulk writes, stale
+  marks, journal overflow and cross-core snapshots.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bpu.presets import haswell, sandy_bridge, skylake
+from repro.core.batch_probe import batch_scan_supported
+from repro.core.pht_map import scan_states, scan_states_reference
+from repro.core.randomizer import RandomizationBlock
+from repro.cpu.core import PhysicalCore
+from repro.cpu.counters import CounterKind
+from repro.cpu.process import Process
+from repro.mitigations import (
+    BpuPartitioning,
+    NoisyPerformanceCounters,
+    NoisyTimer,
+    PhtIndexRandomization,
+    StaticPredictionForSensitiveBranches,
+    StochasticFSM,
+)
+from repro.system.noise import inject_noise
+
+PRESETS = {
+    "skylake": skylake,
+    "haswell": haswell,
+    "sandy_bridge": sandy_bridge,
+}
+
+SCAN_BASE = 0x4000
+SCAN_LEN = 300
+
+
+def make_core(preset_name, seed=7):
+    return PhysicalCore(PRESETS[preset_name]().scaled(256), seed=seed)
+
+
+def install(core, spy, mitigation_name):
+    """Install one named fast-path-safe mitigation configuration."""
+    n_entries = core.predictor.bimodal.pht.n_entries
+    if mitigation_name == "none":
+        return
+    if mitigation_name == "partitioning":
+        core.install_mitigation(
+            BpuPartitioning.by_process(n_entries, n_partitions=4)
+        )
+    elif mitigation_name == "pht_randomization":
+        # rekey_period small enough to rekey mid-scan, exercising the
+        # hook pre-pass's call-order fidelity.
+        core.install_mitigation(
+            PhtIndexRandomization(np.random.default_rng(3), rekey_period=50)
+        )
+    elif mitigation_name == "static_prediction":
+        core.install_mitigation(StaticPredictionForSensitiveBranches())
+        for address in range(SCAN_BASE, SCAN_BASE + SCAN_LEN, 7):
+            spy.protect_branch(address)
+    elif mitigation_name == "noisy_timer":
+        core.install_mitigation(NoisyTimer(sigma=25.0))
+    elif mitigation_name == "stacked":
+        core.install_mitigation(
+            BpuPartitioning.by_process(n_entries, n_partitions=4)
+        )
+        core.install_mitigation(
+            PhtIndexRandomization(np.random.default_rng(9), rekey_period=80)
+        )
+    else:  # pragma: no cover - guard against typos in parametrize lists
+        raise ValueError(mitigation_name)
+
+
+def scan_pair(preset_name, mitigation_name, exercise_outcome):
+    """Run reference and batch scans on twin seeded cores."""
+    results = []
+    for method in ("reference", "batch"):
+        core = make_core(preset_name)
+        spy = Process("spy")
+        install(core, spy, mitigation_name)
+        block = RandomizationBlock.generate(5, n_branches=3000)
+        compiled = block.compile(core, spy)
+        addresses = list(range(SCAN_BASE, SCAN_BASE + SCAN_LEN, 3))
+        if method == "reference":
+            states = scan_states_reference(
+                core,
+                spy,
+                addresses,
+                compiled,
+                exercise_outcome=exercise_outcome,
+            )
+        else:
+            states = scan_states(
+                core,
+                spy,
+                addresses,
+                compiled,
+                exercise_outcome=exercise_outcome,
+                method="batch",
+            )
+        results.append((states, core))
+    return results
+
+
+def assert_cores_equal(a: PhysicalCore, b: PhysicalCore) -> None:
+    """Every piece of checkpointable microarchitectural state matches."""
+    pa, pb = a.predictor, b.predictor
+    np.testing.assert_array_equal(pa.bimodal.pht.levels, pb.bimodal.pht.levels)
+    np.testing.assert_array_equal(pa.gshare.pht.levels, pb.gshare.pht.levels)
+    np.testing.assert_array_equal(pa.selector.counters, pb.selector.counters)
+    assert pa.ghr.value == pb.ghr.value
+    np.testing.assert_array_equal(pa.bit.tags, pb.bit.tags)
+    np.testing.assert_array_equal(pa.bit.valid, pb.bit.valid)
+    np.testing.assert_array_equal(pa.btb.tags, pb.btb.tags)
+    np.testing.assert_array_equal(pa.btb.targets, pb.btb.targets)
+    np.testing.assert_array_equal(pa.btb.valid, pb.btb.valid)
+    np.testing.assert_array_equal(a.icache.tags, b.icache.tags)
+    np.testing.assert_array_equal(a.icache.valid, b.icache.valid)
+    assert a.clock.now == b.clock.now
+    assert set(a._counters) == set(b._counters)
+    for pid, counters in a._counters.items():
+        assert counters.sample() == b._counters[pid].sample()
+
+
+class TestBatchEqualsScalar:
+    @pytest.mark.parametrize("preset_name", sorted(PRESETS))
+    @pytest.mark.parametrize(
+        "mitigation_name",
+        [
+            "none",
+            "partitioning",
+            "pht_randomization",
+            "static_prediction",
+            "noisy_timer",
+            "stacked",
+        ],
+    )
+    @pytest.mark.parametrize("exercise_outcome", [None, True, False])
+    def test_identical_state_vectors(
+        self, preset_name, mitigation_name, exercise_outcome
+    ):
+        (ref_states, _), (batch_states, _) = scan_pair(
+            preset_name, mitigation_name, exercise_outcome
+        )
+        assert ref_states == batch_states
+
+    def test_auto_dispatches_to_batch_result(self):
+        core = make_core("skylake")
+        spy = Process("spy")
+        block = RandomizationBlock.generate(5, n_branches=3000)
+        compiled = block.compile(core, spy)
+        addresses = list(range(SCAN_BASE, SCAN_BASE + 128))
+        auto = scan_states(core, spy, addresses, compiled)
+        batch = scan_states(core, spy, addresses, compiled, method="batch")
+        assert auto == batch
+
+    def test_batch_scan_restores_core(self):
+        core = make_core("haswell")
+        spy = Process("spy")
+        block = RandomizationBlock.generate(5, n_branches=3000)
+        compiled = block.compile(core, spy)
+        pristine = make_core("haswell")
+        scan_states(
+            core,
+            spy,
+            list(range(SCAN_BASE, SCAN_BASE + 128)),
+            compiled,
+            method="batch",
+        )
+        assert_cores_equal(core, pristine)
+
+    def test_unknown_method_rejected(self):
+        core = make_core("haswell")
+        spy = Process("spy")
+        compiled = RandomizationBlock.generate(5, n_branches=500).compile(
+            core, spy
+        )
+        with pytest.raises(ValueError):
+            scan_states(core, spy, [SCAN_BASE], compiled, method="fast")
+
+
+class TestFallback:
+    @pytest.mark.parametrize(
+        "mitigation", [NoisyPerformanceCounters(1), StochasticFSM(0.25)]
+    )
+    def test_observation_mitigations_disable_batch(self, mitigation):
+        core = make_core("skylake")
+        core.install_mitigation(mitigation)
+        assert not batch_scan_supported(core)
+
+    def test_safe_mitigations_keep_batch(self):
+        core = make_core("skylake")
+        spy = Process("spy")
+        install(core, spy, "stacked")
+        core.install_mitigation(NoisyTimer(sigma=10.0))
+        assert batch_scan_supported(core)
+
+    def test_forcing_batch_under_noisy_counters_raises(self):
+        core = make_core("haswell")
+        spy = Process("spy")
+        core.install_mitigation(NoisyPerformanceCounters(1))
+        compiled = RandomizationBlock.generate(5, n_branches=500).compile(
+            core, spy
+        )
+        with pytest.raises(ValueError):
+            scan_states(core, spy, [SCAN_BASE], compiled, method="batch")
+
+    def test_auto_falls_back_to_exact_scalar(self):
+        """Under a stochastic mitigation, auto equals the scalar reference
+        exactly (same core RNG stream, same draws)."""
+        states = []
+        for _ in range(2):
+            core = make_core("haswell")
+            core.install_mitigation(StochasticFSM(0.5))
+            spy = Process("spy")
+            compiled = RandomizationBlock.generate(5, n_branches=1000).compile(
+                core, spy
+            )
+            addresses = list(range(SCAN_BASE, SCAN_BASE + 64))
+            states.append(scan_states(core, spy, addresses, compiled))
+        reference_core = make_core("haswell")
+        reference_core.install_mitigation(StochasticFSM(0.5))
+        spy = Process("spy")
+        compiled = RandomizationBlock.generate(5, n_branches=1000).compile(
+            reference_core, spy
+        )
+        reference = scan_states_reference(
+            reference_core, spy, list(range(SCAN_BASE, SCAN_BASE + 64)), compiled
+        )
+        assert states[0] == states[1] == reference
+
+
+def twin_cores(preset_name="haswell", seed=11):
+    return make_core(preset_name, seed), make_core(preset_name, seed)
+
+
+def twin_spies():
+    """Same-pid spy processes, so twin cores' counter files compare equal."""
+    return Process("spy", pid=90001), Process("spy", pid=90001)
+
+
+def churn(core, spy, rng_seed=23, n=200):
+    """Deterministically touch every component a delta restore must undo."""
+    rng = np.random.default_rng(rng_seed)
+    addresses = rng.integers(0x9000, 0x9000 + 4096, size=n)
+    outcomes = rng.integers(0, 2, size=n).astype(bool)
+    for address, taken in zip(addresses, outcomes):
+        core.execute_branch(spy, int(address), bool(taken))
+
+
+class TestDeltaRestoreEqualsFullCopy:
+    @pytest.mark.parametrize("preset_name", sorted(PRESETS))
+    def test_scalar_churn(self, preset_name):
+        delta_core, full_core = twin_cores(preset_name)
+        spy_a, spy_b = twin_spies()
+        churn(delta_core, spy_a, rng_seed=1)
+        churn(full_core, spy_b, rng_seed=1)
+        snap_delta = delta_core.checkpoint()
+        snap_full = full_core.checkpoint(full=True)
+        churn(delta_core, spy_a, rng_seed=2)
+        churn(full_core, spy_b, rng_seed=2)
+        delta_core.restore(snap_delta)
+        full_core.restore(snap_full)
+        assert_cores_equal(delta_core, full_core)
+
+    def test_compiled_block_apply_between(self):
+        """CompiledBlock.apply is an external bulk write; delta restore
+        across it must still be exact (record_touch / invalidation)."""
+        delta_core, full_core = twin_cores()
+        spy_a, spy_b = twin_spies()
+        block = RandomizationBlock.generate(5, n_branches=3000)
+        snap_delta = delta_core.checkpoint()
+        snap_full = full_core.checkpoint(full=True)
+        block.compile(delta_core, spy_a).apply(delta_core, spy_a)
+        block.compile(full_core, spy_b).apply(full_core, spy_b)
+        churn(delta_core, spy_a, rng_seed=3, n=50)
+        churn(full_core, spy_b, rng_seed=3, n=50)
+        delta_core.restore(snap_delta)
+        full_core.restore(snap_full)
+        assert_cores_equal(delta_core, full_core)
+
+    def test_inject_noise_between(self):
+        delta_core, full_core = twin_cores()
+        spy_a, spy_b = twin_spies()
+        churn(delta_core, spy_a, rng_seed=4, n=40)
+        churn(full_core, spy_b, rng_seed=4, n=40)
+        snap_delta = delta_core.checkpoint()
+        snap_full = full_core.checkpoint(full=True)
+        inject_noise(delta_core, 500, np.random.default_rng(5))
+        inject_noise(full_core, 500, np.random.default_rng(5))
+        delta_core.restore(snap_delta)
+        full_core.restore(snap_full)
+        assert_cores_equal(delta_core, full_core)
+
+    def test_mark_reusable_across_repeated_restores(self):
+        delta_core, full_core = twin_cores()
+        spy_a, spy_b = twin_spies()
+        snap_delta = delta_core.checkpoint()
+        snap_full = full_core.checkpoint(full=True)
+        for round_seed in (6, 7, 8):
+            churn(delta_core, spy_a, rng_seed=round_seed, n=60)
+            churn(full_core, spy_b, rng_seed=round_seed, n=60)
+            delta_core.restore(snap_delta)
+            full_core.restore(snap_full)
+            assert_cores_equal(delta_core, full_core)
+
+    def test_newer_mark_goes_stale_after_older_restore(self):
+        """Restoring an older snapshot truncates the journal; a newer
+        snapshot's mark must then fall back to its full copy."""
+        delta_core, full_core = twin_cores()
+        spy_a, spy_b = twin_spies()
+        old_delta = delta_core.checkpoint()
+        old_full = full_core.checkpoint(full=True)
+        churn(delta_core, spy_a, rng_seed=9, n=60)
+        churn(full_core, spy_b, rng_seed=9, n=60)
+        new_delta = delta_core.checkpoint()
+        new_full = full_core.checkpoint(full=True)
+        delta_core.restore(old_delta)
+        full_core.restore(old_full)
+        delta_core.restore(new_delta)
+        full_core.restore(new_full)
+        assert_cores_equal(delta_core, full_core)
+
+    def test_journal_overflow_falls_back(self):
+        """More journaled writes than the cap invalidates the journal;
+        restore must transparently use the snapshot's full copy."""
+        delta_core, full_core = twin_cores()
+        spy_a, spy_b = twin_spies()
+        snap_delta = delta_core.checkpoint()
+        snap_full = full_core.checkpoint(full=True)
+        # Far more than the per-component journal cap (>= 256 elements).
+        churn(delta_core, spy_a, rng_seed=10, n=1500)
+        churn(full_core, spy_b, rng_seed=10, n=1500)
+        delta_core.restore(snap_delta)
+        full_core.restore(snap_full)
+        assert_cores_equal(delta_core, full_core)
+
+    def test_cross_core_restore_falls_back(self):
+        """A snapshot restored into a different core of the same geometry
+        cannot replay the foreign journal — it must full-copy."""
+        source, target = twin_cores()
+        spy = Process("spy", pid=90001)
+        churn(source, spy, rng_seed=12, n=80)
+        snapshot = source.checkpoint()
+        churn(target, Process("spy", pid=90001), rng_seed=13, n=80)
+        target.restore(snapshot)
+        assert_cores_equal(source, target)
+
+    def test_counter_version_fast_path(self):
+        counters_file = PhysicalCore(haswell().scaled(64), seed=0)
+        spy = Process("spy")
+        counters_file.execute_branch(spy, 0x100, True)
+        counters = counters_file.counters_for(spy)
+        snapshot = counters.snapshot()
+        # Unmoved file: restore is a no-op and contents stay correct.
+        counters.restore(snapshot)
+        assert counters.read(CounterKind.BRANCHES) == 1
+        counters.increment(CounterKind.BRANCHES)
+        counters.restore(snapshot)
+        assert counters.read(CounterKind.BRANCHES) == 1
+        # A restored file adopts the snapshot's version: restoring the
+        # same snapshot again is again free and still correct.
+        counters.restore(snapshot)
+        assert counters.read(CounterKind.BRANCHES) == 1

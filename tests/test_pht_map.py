@@ -1,5 +1,7 @@
 """PHT reverse engineering (paper §6.3, Figure 5, Equations 1-4)."""
 
+from itertools import combinations
+
 import numpy as np
 import pytest
 
@@ -7,9 +9,11 @@ from repro.bpu import haswell
 from repro.core.calibration import find_block
 from repro.core.patterns import DecodedState
 from repro.core.pht_map import (
+    _encode,
     estimate_pht_size,
     hamming_ratio_curve,
     scan_states,
+    scan_states_reference,
 )
 from repro.core.randomizer import RandomizationBlock
 from repro.cpu import PhysicalCore, Process
@@ -74,6 +78,31 @@ class TestScanStates:
         known = sum(s is not DecodedState.UNKNOWN for s in states)
         assert known / len(states) > 0.9
 
+    @pytest.mark.parametrize("exercise_outcome", [None, True])
+    def test_methods_agree(self, core, spy, compiled, exercise_outcome):
+        """auto, batch and reference all produce the same state vector."""
+        addresses = list(range(0x300000, 0x300000 + 96))
+        vectors = [
+            scan_states(
+                core,
+                spy,
+                addresses,
+                compiled,
+                exercise_outcome=exercise_outcome,
+                method=method,
+            )
+            for method in ("auto", "batch", "reference")
+        ]
+        assert vectors[0] == vectors[1] == vectors[2]
+
+    def test_reference_full_restore_matches_delta(self, core, spy, compiled):
+        addresses = list(range(0x300000, 0x300000 + 48))
+        delta = scan_states_reference(core, spy, addresses, compiled)
+        full = scan_states_reference(
+            core, spy, addresses, compiled, full_restore=True
+        )
+        assert delta == full
+
 
 class TestHammingCurve:
     def _states(self, core, spy, compiled, length):
@@ -100,6 +129,44 @@ class TestHammingCurve:
         states = [DecodedState.SN] * 10
         curve = hamming_ratio_curve(states, [6])  # only one subvector fits
         assert curve == {}
+
+    def test_matches_scalar_reference(self):
+        """The vectorised curve equals a per-pair scalar recomputation,
+        including the sampled-pair RNG draws (same order, same values)."""
+        rng = np.random.default_rng(17)
+        states = [
+            list(DecodedState)[i]
+            for i in rng.integers(0, len(DecodedState), size=230)
+        ]
+        windows = [3, 5, 8, 16, 40]
+        max_pairs = 12
+        curve = hamming_ratio_curve(
+            states,
+            windows,
+            rng=np.random.default_rng(99),
+            max_pairs=max_pairs,
+        )
+        reference_rng = np.random.default_rng(99)
+        encoded = _encode(states)
+        expected = {}
+        for w in windows:
+            n_sub = len(encoded) // w
+            if n_sub < 2:
+                continue
+            subvectors = encoded[: n_sub * w].reshape(n_sub, w)
+            all_pairs = list(combinations(range(n_sub), 2))
+            if len(all_pairs) > max_pairs:
+                chosen = reference_rng.choice(
+                    len(all_pairs), size=max_pairs, replace=False
+                )
+                pairs = [all_pairs[i] for i in chosen]
+            else:
+                pairs = all_pairs
+            distances = [
+                int((subvectors[a] != subvectors[b]).sum()) for a, b in pairs
+            ]
+            expected[w] = float(np.mean(distances)) / w
+        assert curve == expected
 
 
 class TestEstimateSize:
