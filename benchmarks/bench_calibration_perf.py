@@ -1,0 +1,190 @@
+"""Perf smoke check: the §6.2 calibration trial through the batch engine.
+
+The vectorised trial-plan engine (:func:`assess_block_batch` with a
+pre-drawn :class:`TrialPlan`) is what makes the Figure 4 stability
+sweep tractable at paper scale (10,000 blocks x 1,000 probes); it must
+stay at least ``--min-speedup`` times faster than the scalar reference
+:func:`assess_block` on the same plan.  Both engines run interleaved,
+best-of-N, and their assessments are compared for equality before the
+timings are trusted (the full differential proof lives in
+``tests/test_calibration_batch.py``).
+
+Run standalone (CI does, failing the job on gross regression)::
+
+    PYTHONPATH=src python benchmarks/bench_calibration_perf.py
+
+or under pytest alongside the other benches::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_calibration_perf.py
+
+The replay mode (scalar signature, bit-exact generator-stream replay) is
+reported for context but only sanity-gated at >1x — its speedup is
+capped by re-drawing the scalar engine's per-repetition generator calls.
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.bpu import skylake  # noqa: E402
+from repro.core.calibration import (  # noqa: E402
+    assess_block,
+    assess_block_batch,
+    draw_trial_plan,
+)
+from repro.core.randomizer import RandomizationBlock  # noqa: E402
+from repro.cpu import PhysicalCore, Process  # noqa: E402
+from repro.system.noise import NoiseModel  # noqa: E402
+
+#: Acceptance target: batch trial >= 10x the scalar trial (CI floor 5x).
+TARGET_SPEEDUP = 10.0
+
+TARGET = 0x7F0000001234
+BLOCK_BRANCHES = 20_000
+REPETITIONS = 500
+REPLAY_REPETITIONS = 60
+BEST_OF = 3
+
+
+def _setup():
+    core = PhysicalCore(skylake(), seed=11)
+    spy = Process("spy")
+    block = RandomizationBlock.generate(7, n_branches=BLOCK_BRANCHES)
+    compiled = block.compile(core, spy)
+    return core, spy, compiled
+
+
+def _run_plan(engine, repetitions):
+    core, spy, compiled = _setup()
+    plan = draw_trial_plan(
+        np.random.default_rng(13),
+        core,
+        repetitions=repetitions,
+        noise=NoiseModel.isolated(),
+    )
+    start = time.perf_counter()
+    assessment = engine(core, spy, compiled, TARGET, plan=plan)
+    return time.perf_counter() - start, assessment
+
+
+def _run_replay(engine, repetitions):
+    core, spy, compiled = _setup()
+    start = time.perf_counter()
+    assessment = engine(
+        core,
+        spy,
+        compiled,
+        TARGET,
+        repetitions=repetitions,
+        noise=NoiseModel.isolated(),
+    )
+    return time.perf_counter() - start, assessment
+
+
+def measure(
+    repetitions: int = REPETITIONS,
+    replay_repetitions: int = REPLAY_REPETITIONS,
+    best_of: int = BEST_OF,
+) -> dict:
+    """Time the batch calibration engine against the scalar reference.
+
+    Interleaved best-of-N: machine noise hits both engines alike, so a
+    transient stall cannot manufacture (or destroy) a speedup.
+    """
+    times = {label: [] for label in
+             ("scalar", "batch", "scalar_replay", "batch_replay")}
+    assessments = {}
+    for _ in range(best_of):
+        for label, runner, engine, reps in (
+            ("scalar", _run_plan, assess_block, repetitions),
+            ("batch", _run_plan, assess_block_batch, repetitions),
+            ("scalar_replay", _run_replay, assess_block, replay_repetitions),
+            ("batch_replay", _run_replay, assess_block_batch,
+             replay_repetitions),
+        ):
+            elapsed, assessment = runner(engine, reps)
+            times[label].append(elapsed)
+            assessments[label] = assessment
+
+    # Differential sanity: same plan/stream => same assessment.
+    if assessments["batch"] != assessments["scalar"]:
+        raise AssertionError("plan engines disagree — do not trust timings")
+    if assessments["batch_replay"] != assessments["scalar_replay"]:
+        raise AssertionError("replay engines disagree — do not trust timings")
+
+    best = {label: min(series) for label, series in times.items()}
+    return {
+        "repetitions": repetitions,
+        "replay_repetitions": replay_repetitions,
+        "scalar_seconds": best["scalar"],
+        "batch_seconds": best["batch"],
+        "speedup": best["scalar"] / best["batch"],
+        "scalar_replay_seconds": best["scalar_replay"],
+        "batch_replay_seconds": best["batch_replay"],
+        "replay_speedup": best["scalar_replay"] / best["batch_replay"],
+    }
+
+
+def _report(result: dict) -> str:
+    return (
+        f"assess_block trial @ {BLOCK_BRANCHES} branches, best of "
+        f"{BEST_OF} interleaved\n"
+        f"  trial plan, {result['repetitions']} repetitions\n"
+        f"    scalar reference:       {result['scalar_seconds']:.3f}s\n"
+        f"    vectorised batch:       {result['batch_seconds']:.3f}s\n"
+        f"    speedup:                {result['speedup']:.1f}x "
+        f"(target >= {TARGET_SPEEDUP:.0f}x)\n"
+        f"  stream replay, {result['replay_repetitions']} repetitions\n"
+        f"    scalar reference:       {result['scalar_replay_seconds']:.3f}s\n"
+        f"    vectorised batch:       {result['batch_replay_seconds']:.3f}s\n"
+        f"    speedup:                {result['replay_speedup']:.1f}x "
+        f"(sanity > 1x)"
+    )
+
+
+def test_calibration_perf_smoke(benchmark):
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    from conftest import emit
+
+    emit("calibration_perf", _report(result))
+    assert result["speedup"] >= TARGET_SPEEDUP
+    assert result["replay_speedup"] > 1.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--repetitions", type=int, default=REPETITIONS,
+        help="probe repetitions per plan-mode trial (default: 500)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=TARGET_SPEEDUP,
+        help="fail if the batch engine is not this many times faster "
+        "than the scalar trial (CI passes 5 to catch gross regressions "
+        "only)",
+    )
+    args = parser.parse_args(argv)
+    result = measure(args.repetitions)
+    print(_report(result))
+    if result["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: speedup {result['speedup']:.1f}x below required "
+            f"{args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    if result["replay_speedup"] <= 1.0:
+        print("FAIL: replay engine slower than the scalar loop",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -63,24 +63,33 @@ def run_experiment():
                 config=CovertConfig(),
             )
             rng = np.random.default_rng(21)
+            # Message trials are independent: one trial_sweep per cell
+            # (honours REPRO_TRIAL_WORKERS; received bits are identical
+            # at any worker count).
+            trials = [
+                (payload, payload_bits(payload, rng))
+                for payload in PAYLOADS
+                for _ in range(N_TRIALS)
+            ]
+            sweep = channel.trial_sweep(
+                [bits for _, bits in trials], seed=22
+            )
             cell_errors = cell_total = 0
-            start_cycle = core.clock.now
-            for payload in PAYLOADS:
-                errors = 0
-                total = 0
-                for _ in range(N_TRIALS):
-                    bits = payload_bits(payload, rng)
-                    received = channel.transmit(bits)
-                    errors += sum(
-                        1 for a, b in zip(bits, received) if a != b
-                    )
-                    total += len(bits)
+            cell_cycles = sum(channel.last_sweep_cycles)
+            for (payload, bits), received in zip(trials, sweep):
+                errors, total = results.get(
+                    (cpu_label, setting_label, payload), (0, 0)
+                )
+                errors += sum(1 for a, b in zip(bits, received) if a != b)
+                total += len(bits)
                 results[(cpu_label, setting_label, payload)] = (errors, total)
+            for payload in PAYLOADS:
+                errors, total = results[(cpu_label, setting_label, payload)]
                 cell_errors += errors
                 cell_total += total
             rates[(cpu_label, setting_label)] = (
                 cell_errors / cell_total,
-                (core.clock.now - start_cycle) / cell_total,
+                cell_cycles / cell_total,
             )
     return results, rates
 

@@ -14,6 +14,7 @@ from repro.analysis import binomial_confidence_interval, format_table
 from repro.bpu import skylake
 from repro.core.covert import CovertChannel, CovertConfig, error_rate
 from repro.cpu import PhysicalCore, Process
+from repro.parallel import TrialPool
 from repro.system import Enclave, MaliciousOS
 from repro.system.scheduler import NoiseSetting
 
@@ -67,14 +68,28 @@ def transmit_via_enclave(quiesce: bool, bits):
 
 def run_experiment():
     rng = np.random.default_rng(25)
-    results = {}
-    for label, quiesce in (("SGX with noise", False), ("SGX isolated", True)):
-        for payload in PAYLOADS:
-            bits = payload_bits(payload, rng)
-            received = transmit_via_enclave(quiesce, bits)
-            errors = sum(1 for a, b in zip(bits, received) if a != b)
-            results[(label, payload)] = (errors, len(bits))
-    return results
+    # Cells are fully independent (each builds its own seeded core), so
+    # they fan across a TrialPool (honours REPRO_TRIAL_WORKERS) with
+    # results identical at any worker count.
+    cells = [
+        (label, quiesce, payload, payload_bits(payload, rng))
+        for label, quiesce in (
+            ("SGX with noise", False),
+            ("SGX isolated", True),
+        )
+        for payload in PAYLOADS
+    ]
+
+    def cell_trial(index):
+        _, quiesce, _, bits = cells[index]
+        received = transmit_via_enclave(quiesce, bits)
+        return sum(1 for a, b in zip(bits, received) if a != b)
+
+    errors = TrialPool().map(cell_trial, range(len(cells)))
+    return {
+        (label, payload): (n_errors, len(bits))
+        for (label, _, payload, bits), n_errors in zip(cells, errors)
+    }
 
 
 def test_table3_sgx_covert(benchmark):

@@ -37,6 +37,10 @@ from repro.core.btb_attacks import (
 from repro.core.calibration import (
     BlockAssessment,
     CalibrationError,
+    TrialPlan,
+    assess_block,
+    assess_block_batch,
+    draw_trial_plan,
     find_block,
     stability_experiment,
 )
@@ -80,6 +84,9 @@ __all__ = [
     "SMTCovertChannel",
     "SpiedBit",
     "TimingCalibration",
+    "TrialPlan",
+    "assess_block",
+    "assess_block_batch",
     "batch_decode_states",
     "batch_probe_signatures",
     "batch_scan_supported",
@@ -88,6 +95,7 @@ __all__ = [
     "build_dictionary",
     "calibrate_btb_threshold",
     "decode_state",
+    "draw_trial_plan",
     "estimate_pht_size",
     "expected_probe_pattern",
     "find_block",

@@ -18,16 +18,43 @@ candidate blocks x 1000 probes each, Figure 4) defines the methodology:
 "Finding the appropriate randomization code is a one-time effort by the
 attacker and can be performed during the pre-attack stage.  This is a
 key element of BranchScope."
+
+Two execution engines implement the assessment:
+
+* :func:`assess_block` — the scalar reference: every scramble branch,
+  block application, noise gap and probe runs through
+  :meth:`~repro.cpu.core.PhysicalCore.execute_branch` /
+  :meth:`~repro.core.randomizer.CompiledBlock.apply`.
+* :func:`assess_block_batch` — the vectorised fast path
+  (:mod:`repro.core.calibration_batch`): a *replay* engine that tracks
+  only the handful of predictor entries the probes can observe and
+  evolves them with numpy table operations, while consuming the
+  identical generator streams (observation draws *and* the core RNG's
+  timing draws) and making the identical mitigation hook calls.  It is
+  therefore a bit-exact drop-in — same :class:`BlockAssessment`, same
+  post-call core/RNG/mitigation state — pinned by the differential
+  tests in ``tests/test_calibration_batch.py``.  Whenever a mitigation
+  perturbs the observation itself (stochastic FSM, noisy counters) or a
+  custom timing model is installed, it transparently runs the scalar
+  engine instead.
+
+The candidate searches (:func:`find_block`, :func:`stability_experiment`)
+optionally fan independent candidates across a
+:class:`repro.parallel.TrialPool` (``workers=`` kwarg) with per-candidate
+generators spawned via ``np.random.SeedSequence`` from one entropy draw,
+so search outcomes are bit-identical at any worker count.
 """
 
 from __future__ import annotations
 
+import copy
 from collections import Counter
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.batch_probe import batch_scan_supported
 from repro.core.patterns import DecodedState, decode_state
 from repro.core.prime_probe import probe_pair
 from repro.core.randomizer import (
@@ -37,12 +64,23 @@ from repro.core.randomizer import (
 )
 from repro.cpu.core import PhysicalCore
 from repro.cpu.process import Process
-from repro.system.noise import NoiseModel, inject_noise
+from repro.cpu.timing import TimingModel
+from repro.parallel import TrialPool, resolve_workers, spawn_seeds
+from repro.system.noise import (
+    NoiseDraw,
+    NoiseModel,
+    apply_noise_draw,
+    draw_noise,
+    inject_noise,
+)
 
 __all__ = [
     "BlockAssessment",
     "CalibrationError",
+    "TrialPlan",
     "assess_block",
+    "assess_block_batch",
+    "draw_trial_plan",
     "find_block",
     "stability_experiment",
 ]
@@ -83,10 +121,85 @@ class BlockAssessment:
         return decode_state(fsm, self.tt_pattern, self.nn_pattern)
 
 
-def _dominant(patterns: Sequence[str]) -> tuple:
-    counts = Counter(patterns)
-    pattern, count = counts.most_common(1)[0]
-    return pattern, count / len(patterns)
+def _dominant_counts(counts: Dict[str, int], total: int) -> Tuple[str, float]:
+    """Dominant pattern from a ``{pattern: count}`` table.
+
+    Ties break on ``(count, pattern)`` — lexicographically largest
+    pattern wins among equals — so the result is a pure function of the
+    counts, not of observation order.  (``Counter.most_common`` breaks
+    ties by insertion order, which differs between the scalar engine's
+    chronological counting and a vectorised engine's histogram.)
+    """
+    pattern, count = max(counts.items(), key=lambda item: (item[1], item[0]))
+    return pattern, count / total
+
+
+def _dominant(patterns: Sequence[str]) -> Tuple[str, float]:
+    return _dominant_counts(Counter(patterns), len(patterns))
+
+
+@dataclass(frozen=True)
+class TrialPlan:
+    """All randomness one block assessment consumes, pre-drawn in bulk.
+
+    The scalar engine interleaves observation draws with the core RNG's
+    timing draws, so a per-repetition draw loop is the only way to stay
+    on its historical stream — and per-call :class:`~numpy.random.Generator`
+    overhead then dominates the vectorised engine.  A trial plan breaks
+    that floor: :func:`draw_trial_plan` draws every scramble outcome and
+    the whole noise stream of all ``2 x repetitions`` repetitions in a
+    handful of vectorised generator calls up front.  Both engines accept
+    a plan (``plan=`` on :func:`assess_block` / :func:`assess_block_batch`)
+    and produce identical assessments from the same plan, which is what
+    the pooled candidate searches hand their per-trial generators.
+    """
+
+    #: ``(2 * repetitions, fsm.n_levels)`` random scramble outcomes.
+    scrambles: np.ndarray
+    #: ``(2 * repetitions + 1,)`` prefix offsets into the noise arrays.
+    offsets: np.ndarray
+    #: One bulk :class:`~repro.system.noise.NoiseDraw` holding every
+    #: gap's noise stream back to back.
+    bulk: NoiseDraw
+
+    @property
+    def repetitions(self) -> int:
+        return len(self.scrambles) // 2
+
+    def gap(self, r: int) -> int:
+        return int(self.offsets[r + 1] - self.offsets[r])
+
+    def noise_draw(self, r: int) -> NoiseDraw:
+        """Repetition ``r``'s noise gap as zero-copy views of the bulk."""
+        lo, hi = int(self.offsets[r]), int(self.offsets[r + 1])
+        return NoiseDraw(
+            hi - lo,
+            self.bulk.addresses[lo:hi],
+            self.bulk.outcomes[lo:hi],
+            self.bulk.gshare_indices[lo:hi],
+            self.bulk.nudges[lo:hi],
+        )
+
+
+def draw_trial_plan(
+    rng: np.random.Generator,
+    core: PhysicalCore,
+    *,
+    repetitions: int = 100,
+    noise: Optional[NoiseModel] = None,
+) -> TrialPlan:
+    """Pre-draw one assessment's randomness from ``rng`` (seven calls)."""
+    noise = noise if noise is not None else NoiseModel.isolated()
+    fsm = core.predictor.bimodal.pht.fsm
+    n_reps = 2 * repetitions
+    scrambles = rng.integers(0, 2, size=(n_reps, fsm.n_levels))
+    gaps = noise.gap_array(rng, n_reps)
+    offsets = np.zeros(n_reps + 1, dtype=np.int64)
+    np.cumsum(gaps, out=offsets[1:])
+    bulk = draw_noise(
+        rng, int(offsets[-1]), core.predictor.gshare.pht.n_entries
+    )
+    return TrialPlan(scrambles=scrambles, offsets=offsets, bulk=bulk)
 
 
 def assess_block(
@@ -98,6 +211,7 @@ def assess_block(
     repetitions: int = 100,
     noise: Optional[NoiseModel] = None,
     rng: Optional[np.random.Generator] = None,
+    plan: Optional[TrialPlan] = None,
 ) -> BlockAssessment:
     """Measure a block's probe-pattern stability at ``target_address``.
 
@@ -110,7 +224,15 @@ def assess_block(
     measured in separate repetitions (each must start from a freshly
     prepared state).  The surrounding core state is checkpointed and
     restored.
+
+    With ``plan`` given (a pre-drawn :class:`TrialPlan`), the scramble
+    and noise randomness comes from the plan instead of ``rng`` and
+    ``repetitions``/``noise`` are taken from it — the draw-call pattern
+    on the live generators changes, but the simulated machine semantics
+    are exactly the same.
     """
+    if plan is not None:
+        return _assess_block_plan(core, spy, compiled, target_address, plan)
     rng = rng if rng is not None else core.rng
     noise = noise if noise is not None else NoiseModel.isolated()
     fsm = core.predictor.bimodal.pht.fsm
@@ -139,6 +261,101 @@ def assess_block(
     )
 
 
+def _assess_block_plan(
+    core: PhysicalCore,
+    spy: Process,
+    compiled: CompiledBlock,
+    target_address: int,
+    plan: TrialPlan,
+) -> BlockAssessment:
+    """Scalar assessment consuming a pre-drawn :class:`TrialPlan`."""
+    checkpoint = core.checkpoint()
+    observations = {}
+    r = 0
+    for outcomes in ((True, True), (False, False)):
+        patterns: List[str] = []
+        for _ in range(plan.repetitions):
+            for taken in plan.scrambles[r]:
+                core.execute_branch(spy, target_address, bool(taken))
+            compiled.apply(core, spy)
+            apply_noise_draw(core, plan.noise_draw(r))
+            patterns.append(
+                probe_pair(core, spy, target_address, outcomes).pattern
+            )
+            r += 1
+        observations[outcomes] = _dominant(patterns)
+    core.restore(checkpoint)
+    tt_pattern, tt_freq = observations[(True, True)]
+    nn_pattern, nn_freq = observations[(False, False)]
+    return BlockAssessment(
+        seed=compiled.block.seed,
+        tt_pattern=tt_pattern,
+        tt_frequency=tt_freq,
+        nn_pattern=nn_pattern,
+        nn_frequency=nn_freq,
+    )
+
+
+def assess_block_batch(
+    core: PhysicalCore,
+    spy: Process,
+    compiled: CompiledBlock,
+    target_address: int,
+    *,
+    repetitions: int = 100,
+    noise: Optional[NoiseModel] = None,
+    rng: Optional[np.random.Generator] = None,
+    plan: Optional[TrialPlan] = None,
+) -> BlockAssessment:
+    """Vectorised :func:`assess_block` — bit-identical result and state.
+
+    All repetitions of both probe variants are computed by the replay
+    engine in :mod:`repro.core.calibration_batch`, which consumes the
+    same generator streams and makes the same mitigation hook calls as
+    the scalar reference — so the returned assessment, the post-call
+    core state *and* the RNG stream positions are all identical, and
+    callers may mix the two engines freely.  When a mitigation perturbs
+    the observation itself (a stochastic FSM, a noisy counter — the
+    :func:`~repro.core.batch_probe.batch_scan_supported` predicate, same
+    contract as the §6.3 batch scan) or the core runs a custom
+    :class:`~repro.cpu.timing.TimingModel` subclass (whose draw pattern
+    the replay could not mirror), this transparently runs the scalar
+    engine instead.
+
+    With a pre-drawn ``plan`` there is no stream to replay — the result
+    is pinned to :func:`assess_block` with the same plan, the engine
+    skips the per-repetition draw loop *and* the timing-draw replay
+    entirely (this is the >=10x trial fast path), and a custom timing
+    model no longer forces the scalar fallback.
+    """
+    supported = batch_scan_supported(core) and (
+        plan is not None or type(core.timing) is TimingModel
+    )
+    if not supported:
+        return assess_block(
+            core,
+            spy,
+            compiled,
+            target_address,
+            repetitions=repetitions,
+            noise=noise,
+            rng=rng,
+            plan=plan,
+        )
+    from repro.core.calibration_batch import batch_assess
+
+    return batch_assess(
+        core,
+        spy,
+        compiled,
+        target_address,
+        repetitions=repetitions,
+        noise=noise,
+        rng=rng,
+        plan=plan,
+    )
+
+
 def find_block(
     core: PhysicalCore,
     spy: Process,
@@ -151,6 +368,8 @@ def find_block(
     noise: Optional[NoiseModel] = None,
     seed_start: int = 0,
     rng: Optional[np.random.Generator] = None,
+    workers: Optional[int] = None,
+    fast: bool = True,
 ) -> CompiledBlock:
     """Search candidate blocks until one stably yields ``desired_state``.
 
@@ -162,32 +381,101 @@ def find_block(
     and surviving candidates compile through the process-wide
     compiled-block cache (see :meth:`RandomizationBlock.compile`), so
     repeated searches over the same seed range cost one compile each.
+
+    By default (``workers=None`` and no ``REPRO_TRIAL_WORKERS``) the
+    search walks candidates serially with assessments chained on ``rng``
+    (default the core RNG) — the historical behaviour, bit-for-bit.
+    ``fast=False`` forces the scalar assessment engine; the default
+    batch engine is a bit-exact drop-in either way.
+
+    With ``workers`` given (or the env var set), candidates become
+    independent trials fanned across a
+    :class:`~repro.parallel.TrialPool`: each assesses with its own
+    generator spawned from a single entropy draw on ``rng``, and the
+    returned block is the first stable candidate *in seed order* at any
+    worker count (which may differ from the serial walk's pick — the
+    pooled trials draw different observation streams).  Under
+    mitigations each pooled trial runs against its own deep copy of the
+    core, so candidate assessment never advances mitigation state
+    (rekey clocks, partition bookkeeping) of the caller's core.
+
     Raises :class:`CalibrationError` after ``max_candidates`` failures.
     """
     fsm = core.predictor.bimodal.pht.fsm
-    for seed in range(seed_start, seed_start + max_candidates):
-        block = RandomizationBlock.generate(seed, n_branches=block_branches)
-        row = block.entry_fold(core, spy, target_address)
+    assess = assess_block_batch if fast else assess_block
+    desired_name = desired_state.value
+    n_workers = resolve_workers(workers)
+
+    if workers is None and n_workers == 1:
+        for seed in range(seed_start, seed_start + max_candidates):
+            block = RandomizationBlock.generate(
+                seed, n_branches=block_branches
+            )
+            row = block.entry_fold(core, spy, target_address)
+            if not (row == row[0]).all():
+                continue
+            if fsm.public_state(int(row[0])).name != desired_name:
+                continue
+            compiled = block.compile(core, spy)
+            assessment = assess(
+                core,
+                spy,
+                compiled,
+                target_address,
+                repetitions=repetitions,
+                noise=noise,
+                rng=rng,
+            )
+            if assessment.stable and assessment.decoded(fsm) is desired_state:
+                return compiled
+        raise CalibrationError(
+            f"no stable block for {desired_state} at {target_address:#x} "
+            f"in {max_candidates} candidates"
+        )
+
+    entropy_rng = rng if rng is not None else core.rng
+    entropy = int(entropy_rng.integers(np.iinfo(np.int64).max))
+    children = spawn_seeds(entropy, max_candidates)
+
+    def trial(payload: Tuple[int, np.random.SeedSequence]):
+        candidate_seed, child = payload
+        # A private copy keeps the caller's core (RNG position,
+        # mitigation clocks) untouched whether the trial runs in-process
+        # or in a forked worker — one entropy draw is the whole search's
+        # footprint on the caller.
+        trial_core = copy.deepcopy(core)
+        block = RandomizationBlock.generate(
+            candidate_seed, n_branches=block_branches
+        )
+        row = block.entry_fold(trial_core, spy, target_address)
         if not (row == row[0]).all():
-            continue
-        if fsm.public_state(int(row[0])).name != desired_state.value:
-            continue
-        compiled = block.compile(core, spy)
-        assessment = assess_block(
-            core,
-            spy,
-            compiled,
-            target_address,
+            return None
+        if fsm.public_state(int(row[0])).name != desired_name:
+            return None
+        compiled = block.compile(trial_core, spy)
+        plan = draw_trial_plan(
+            np.random.default_rng(child),
+            trial_core,
             repetitions=repetitions,
             noise=noise,
-            rng=rng,
+        )
+        assessment = assess(
+            trial_core, spy, compiled, target_address, plan=plan
         )
         if assessment.stable and assessment.decoded(fsm) is desired_state:
             return compiled
-    raise CalibrationError(
-        f"no stable block for {desired_state} at {target_address:#x} "
-        f"in {max_candidates} candidates"
+        return None
+
+    winner = TrialPool(n_workers).find_first(
+        trial,
+        list(zip(range(seed_start, seed_start + max_candidates), children)),
     )
+    if winner is None:
+        raise CalibrationError(
+            f"no stable block for {desired_state} at {target_address:#x} "
+            f"in {max_candidates} candidates"
+        )
+    return winner
 
 
 def stability_experiment(
@@ -199,27 +487,35 @@ def stability_experiment(
     repetitions: int = 100,
     noise: Optional[NoiseModel] = None,
     seed_start: int = 0,
+    workers: Optional[int] = None,
+    fast: bool = True,
 ) -> List[BlockAssessment]:
     """The Figure 4 experiment: stability scatter over many random blocks.
 
     Scaled down from the paper's 10 000 blocks x 1000 probes by default;
     the bench passes its own sizes.  A fresh core per candidate keeps
-    candidates independent, as the paper's iterations are.
+    candidates independent, as the paper's iterations are — and makes
+    each trial fully self-contained (its observation stream is the fresh
+    core's own seeded RNG), so the sweep is embarrassingly parallel:
+    ``workers`` fans candidates across a
+    :class:`~repro.parallel.TrialPool` and the assessment list is
+    bit-identical at any worker count, including the serial ``workers=1``
+    loop.  ``fast=False`` forces the scalar assessment engine.
     """
-    assessments = []
     spy = Process("stability-spy")
-    for seed in range(seed_start, seed_start + n_blocks):
+    assess = assess_block_batch if fast else assess_block
+
+    def trial(block_seed: int) -> BlockAssessment:
         core = core_factory()
-        block = RandomizationBlock.generate(seed, n_branches=block_branches)
-        compiled = block.compile(core, spy)
-        assessments.append(
-            assess_block(
-                core,
-                spy,
-                compiled,
-                target_address,
-                repetitions=repetitions,
-                noise=noise,
-            )
+        block = RandomizationBlock.generate(
+            block_seed, n_branches=block_branches
         )
-    return assessments
+        compiled = block.compile(core, spy)
+        plan = draw_trial_plan(
+            core.rng, core, repetitions=repetitions, noise=noise
+        )
+        return assess(core, spy, compiled, target_address, plan=plan)
+
+    return TrialPool(workers).map(
+        trial, list(range(seed_start, seed_start + n_blocks))
+    )

@@ -37,6 +37,7 @@ from repro.core.randomizer import CompiledBlock, PAPER_BLOCK_BRANCHES
 from repro.core.timing_detect import TimingCalibration
 from repro.cpu.core import PhysicalCore
 from repro.cpu.process import Process
+from repro.parallel import TrialPool, spawn_seeds
 from repro.system.scheduler import AttackScheduler, NoiseSetting
 
 __all__ = ["CovertConfig", "CovertChannel", "build_dictionary", "error_rate"]
@@ -186,6 +187,9 @@ class CovertChannel:
         if self.config.measurement == "timing" and timing_calibration is None:
             raise ValueError("timing measurement needs a TimingCalibration")
         self.timing_calibration = timing_calibration
+        #: Simulated cycles each message of the most recent
+        #: :meth:`trial_sweep` consumed.
+        self.last_sweep_cycles: List[int] = []
 
     # -- construction helpers ---------------------------------------------------
 
@@ -248,8 +252,100 @@ class CovertChannel:
         return self.dictionary[pattern]
 
     def transmit(self, bits: Sequence[int]) -> List[int]:
-        """Send a bit sequence; returns the received sequence."""
-        return [self.transmit_bit(int(b)) for b in bits]
+        """Send a bit sequence; returns the received sequence.
+
+        Per-message fast path: the probe-variant dispatch, decode
+        dictionary and stage callables are resolved once per message
+        instead of once per bit (:meth:`transmit_bit` stays as the
+        single-bit reference — both make the identical call sequence).
+        """
+        classify = self._resolve_classifier()
+        dictionary = self.dictionary
+        config = self.config
+        taken_bit = config.taken_bit
+        core = self.core
+        spy = self.spy
+        apply_block = self.block.apply
+        stage_gap = self.scheduler.stage_gap
+        victim_turn = self.scheduler.victim_turn
+        send_bit = self.send_bit
+        received = []
+        for b in bits:
+            bit = int(b)
+            apply_block(core, spy)  # stage 1
+            stage_gap()
+            victim_turn(lambda bit=bit: send_bit(bit))  # stage 2
+            stage_gap()
+            received.append(dictionary[classify()])  # stage 3
+        return received
+
+    def trial_sweep(
+        self,
+        payloads: Sequence[Sequence[int]],
+        *,
+        workers: Optional[object] = None,
+        seed: Optional[int] = 0,
+    ) -> List[List[int]]:
+        """Transmit each payload as an independent message trial.
+
+        The channel's prepared state is checkpointed **once per sweep**
+        and restored **once per message** (never per bit); each trial
+        runs on its own :class:`~numpy.random.SeedSequence`-derived
+        noise stream, so the received sequences are bit-identical at any
+        ``workers`` count (see :mod:`repro.parallel`).  The channel's
+        own state and generator are left untouched; each trial's
+        simulated cycle cost is kept in :attr:`last_sweep_cycles`
+        (restoring the clock per message would otherwise hide it from
+        throughput accounting).
+        """
+        payloads = [[int(b) for b in payload] for payload in payloads]
+        if not payloads:
+            self.last_sweep_cycles = []
+            return []
+        core = self.core
+        scheduler = self.scheduler
+        start = core.checkpoint(full=True)
+        seeds = spawn_seeds(seed, len(payloads))
+
+        def trial(index: int) -> Tuple[List[int], int]:
+            trial_rng = np.random.default_rng(seeds[index])
+            caller_rng = core.rng
+            core.rng = trial_rng
+            scheduler.rng = trial_rng
+            start_cycle = core.clock.now
+            try:
+                received = self.transmit(payloads[index])
+                return received, core.clock.now - start_cycle
+            finally:
+                core.restore(start)
+                core.rng = caller_rng
+                scheduler.rng = caller_rng
+
+        outcomes = TrialPool(workers).map(trial, range(len(payloads)))
+        self.last_sweep_cycles = [cycles for _, cycles in outcomes]
+        return [received for received, _ in outcomes]
+
+    def _resolve_classifier(self) -> Callable[[], str]:
+        """The probe-variant measurement as a zero-argument callable."""
+        core = self.core
+        spy = self.spy
+        address = self.branch_address
+        outcomes = self.config.probe_outcomes
+        if self.config.measurement == "timing":
+            is_miss = self.timing_calibration.is_miss
+
+            def classify() -> str:
+                lat1, lat2 = probe_timed(core, spy, address, outcomes)
+                return ("M" if is_miss(lat1) else "H") + (
+                    "M" if is_miss(lat2) else "H"
+                )
+
+            return classify
+
+        def classify() -> str:
+            return probe_pair(core, spy, address, outcomes).pattern
+
+        return classify
 
     def _probe_pattern(self) -> str:
         if self.config.measurement == "timing":

@@ -39,6 +39,7 @@ from repro.core.randomizer import (
 )
 from repro.cpu.core import PhysicalCore
 from repro.cpu.process import Process
+from repro.parallel import TrialPool
 from repro.system.scheduler import AttackScheduler, NoiseSetting
 
 __all__ = ["BranchPlan", "MultiBranchScope"]
@@ -111,13 +112,24 @@ class MultiBranchScope:
             )
         return None
 
-    def calibrate(self, max_candidates: int = 4000) -> CompiledBlock:
+    def calibrate(
+        self,
+        max_candidates: int = 4000,
+        *,
+        workers: Optional[object] = None,
+    ) -> CompiledBlock:
         """Find one block that pins every target entry to a usable level.
 
         The analytical entry-fold filter makes scanning thousands of
-        candidates cheap; only the winning block is compiled.
+        candidates cheap; only the winning block is compiled.  Candidate
+        scanning fans across a :class:`~repro.parallel.TrialPool` when
+        ``workers`` asks for it — trials only read shared state and
+        return picklable plans, and the winner is always the lowest
+        candidate seed regardless of worker count; the winning block is
+        compiled in the calling process.
         """
-        for seed in range(max_candidates):
+
+        def trial(seed: int) -> Optional[Tuple[int, Dict[int, BranchPlan]]]:
             block = RandomizationBlock.generate(
                 seed, n_branches=self.block_branches
             )
@@ -125,19 +137,26 @@ class MultiBranchScope:
             for address in self.addresses:
                 row = block.entry_fold(self.core, self.spy, address)
                 if not (row == row[0]).all():
-                    break  # not pinned
+                    return None  # not pinned
                 plan = self._plan_for_level(address, int(row[0]))
                 if plan is None:
-                    break  # pinned to an undecodable level
+                    return None  # pinned to an undecodable level
                 plans[address] = plan
-            else:
-                self._compiled = block.compile(self.core, self.spy)
-                self._plans = plans
-                return self._compiled
-        raise CalibrationError(
-            f"no block pins all {len(self.addresses)} targets usably "
-            f"within {max_candidates} candidates"
+            return seed, plans
+
+        found = TrialPool(workers).find_first(trial, range(max_candidates))
+        if found is None:
+            raise CalibrationError(
+                f"no block pins all {len(self.addresses)} targets usably "
+                f"within {max_candidates} candidates"
+            )
+        winning_seed, plans = found
+        block = RandomizationBlock.generate(
+            winning_seed, n_branches=self.block_branches
         )
+        self._compiled = block.compile(self.core, self.spy)
+        self._plans = plans
+        return self._compiled
 
     @property
     def plans(self) -> List[BranchPlan]:

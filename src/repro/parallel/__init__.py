@@ -1,0 +1,24 @@
+"""Parallel trial execution (`repro.parallel`).
+
+A process-pool engine for the embarrassingly-parallel layer of the
+reproduction — candidate-block assessments, covert-channel message
+trials, benchmark sweep cells — with a hard determinism contract:
+per-trial RNGs are derived via ``np.random.SeedSequence.spawn`` from the
+experiment seed, so results are bit-identical at any worker count.
+"""
+
+from repro.parallel.pool import (
+    TrialPool,
+    fork_available,
+    resolve_workers,
+    spawn_rngs,
+    spawn_seeds,
+)
+
+__all__ = [
+    "TrialPool",
+    "fork_available",
+    "resolve_workers",
+    "spawn_rngs",
+    "spawn_seeds",
+]

@@ -1,0 +1,208 @@
+"""Process-pool trial engine for embarrassingly-parallel experiments.
+
+The paper's evaluation is built out of *independent trials*: candidate
+blocks in the §6.2 calibration search and the Figure 4 stability
+experiment, message transmissions in the Table 2/3 covert-channel
+sweeps, parameter cells in the ablation benches.  Each trial simulates
+branches against its own core state and returns a small result object,
+which is exactly the worker-pool-over-test-cases shape fuzzing harnesses
+use at scale.  :class:`TrialPool` provides that engine:
+
+* **fork dispatch** — trials run in ``fork``-context worker processes,
+  so the trial function may be any closure over parent state (cores,
+  compiled blocks, factories): the function itself is handed to workers
+  through a pre-fork module global and is never pickled, only payloads
+  and results cross the process boundary;
+* **chunked dispatch, ordered collection** — payloads are dispatched in
+  index-ordered chunks and results are reassembled in payload order, so
+  callers observe exactly the serial loop's result list;
+* **serial fallback** — ``workers=1``, platforms without ``fork``
+  (``spawn``-only platforms cannot ship closures), and nested pools all
+  degrade to a plain in-process loop with identical semantics.
+
+Determinism contract
+--------------------
+Results must be *bit-identical at any worker count*.  The pool
+guarantees ordering; the caller must make each trial self-contained:
+
+1. derive per-trial RNGs with :func:`spawn_rngs` (``np.random.
+   SeedSequence.spawn`` from the experiment seed) instead of sharing one
+   generator across trials — a shared stream's draws would depend on
+   trial scheduling;
+2. give each trial its own core (a factory or a copy), or only read
+   shared state — forked workers see copy-on-write parent state, so a
+   trial that *mutates* a shared core would diverge between serial and
+   parallel runs.
+
+``tests/test_parallel.py`` pins the contract; the Figure 4 determinism
+test asserts ``stability_experiment(workers=4)`` equals ``workers=1``
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "TrialPool",
+    "fork_available",
+    "resolve_workers",
+    "spawn_seeds",
+    "spawn_rngs",
+]
+
+#: Environment default for ``workers=None`` — CI's pool smoke job sets
+#: this to run every pooled experiment with 2 workers.
+WORKERS_ENV = "REPRO_TRIAL_WORKERS"
+
+
+def fork_available() -> bool:
+    """Whether this platform can fork workers (closures need fork)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_workers(workers: Optional[Any] = None) -> int:
+    """Resolve a ``workers`` argument to a concrete positive count.
+
+    ``None`` reads :data:`WORKERS_ENV` (default 1 — experiments stay
+    serial unless asked); ``"auto"`` or ``0`` means one worker per CPU.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        workers = raw
+    if workers in ("auto", 0, "0"):
+        return os.cpu_count() or 1
+    count = int(workers)
+    if count < 1:
+        raise ValueError(f"workers must be >= 1, got {workers!r}")
+    return count
+
+
+def spawn_seeds(seed: Optional[int], n: int) -> List[np.random.SeedSequence]:
+    """``n`` independent child seed sequences of the experiment seed."""
+    return list(np.random.SeedSequence(seed).spawn(n))
+
+
+def spawn_rngs(seed: Optional[int], n: int) -> List[np.random.Generator]:
+    """``n`` independent per-trial generators for one experiment seed."""
+    return [np.random.default_rng(child) for child in spawn_seeds(seed, n)]
+
+
+# The trial function of the pool currently dispatching.  Set immediately
+# before workers fork (so they inherit it) and cleared after; doubles as
+# the reentrancy latch that sends nested pools down the serial path.
+_ACTIVE_FN: Optional[Callable[[Any], Any]] = None
+
+
+def _run_chunk(chunk: Sequence[Any]) -> List[Any]:
+    """Worker body: run the inherited trial function over one chunk."""
+    fn = _ACTIVE_FN
+    assert fn is not None, "worker forked without an active trial function"
+    return [fn(payload) for payload in chunk]
+
+
+class TrialPool:
+    """Fan a trial function over payloads, preserving payload order."""
+
+    def __init__(
+        self,
+        workers: Optional[Any] = None,
+        *,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.chunk_size = chunk_size
+
+    # -- internals ----------------------------------------------------------
+
+    def _effective_workers(self, n_payloads: int) -> int:
+        global _ACTIVE_FN
+        if _ACTIVE_FN is not None:  # nested pool: stay in-process
+            return 1
+        if not fork_available():
+            return 1
+        return max(1, min(self.workers, n_payloads))
+
+    def _chunks(self, payloads: List[Any], workers: int) -> List[List[Any]]:
+        # Several chunks per worker evens out trial-cost variance while
+        # keeping dispatch overhead amortised.
+        size = self.chunk_size or max(1, -(-len(payloads) // (workers * 4)))
+        return [
+            payloads[i:i + size] for i in range(0, len(payloads), size)
+        ]
+
+    def _map_forked(
+        self, fn: Callable[[Any], Any], payloads: List[Any], workers: int
+    ) -> List[Any]:
+        global _ACTIVE_FN
+        _ACTIVE_FN = fn
+        try:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(processes=workers) as pool:
+                chunk_results = pool.map(
+                    _run_chunk, self._chunks(payloads, workers)
+                )
+        finally:
+            _ACTIVE_FN = None
+        return [result for chunk in chunk_results for result in chunk]
+
+    # -- API ----------------------------------------------------------------
+
+    def map(
+        self, fn: Callable[[Any], Any], payloads: Sequence[Any]
+    ) -> List[Any]:
+        """``[fn(p) for p in payloads]``, possibly across worker processes.
+
+        Results come back in payload order regardless of which worker
+        finished first.
+        """
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        workers = self._effective_workers(len(payloads))
+        if workers <= 1:
+            return [fn(payload) for payload in payloads]
+        return self._map_forked(fn, payloads, workers)
+
+    def find_first(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        *,
+        predicate: Callable[[Any], bool] = lambda result: result is not None,
+    ) -> Optional[Any]:
+        """First (in payload order) trial result satisfying ``predicate``.
+
+        The serial path stops at the winner exactly like a search loop;
+        the parallel path evaluates wave after wave of payloads and stops
+        after the first wave containing a match — later payloads in the
+        winning wave are wasted work, but the *returned* result is the
+        payload-order first match either way, keeping search outcomes
+        independent of the worker count.
+        """
+        payloads = list(payloads)
+        if not payloads:
+            return None
+        workers = self._effective_workers(len(payloads))
+        if workers <= 1:
+            for payload in payloads:
+                result = fn(payload)
+                if predicate(result):
+                    return result
+            return None
+        wave = workers * (self.chunk_size or 4)
+        for start in range(0, len(payloads), wave):
+            for result in self._map_forked(
+                fn, payloads[start:start + wave], workers
+            ):
+                if predicate(result):
+                    return result
+        return None

@@ -142,6 +142,14 @@ class WriteJournal:
         self._armed = False
 
 
+def _rebuild_delta_snapshot(data: np.ndarray) -> "DeltaSnapshot":
+    return DeltaSnapshot(data, None)
+
+
+def _rebuild_snapshot_tuple(items: tuple) -> "SnapshotTuple":
+    return SnapshotTuple(items, None)
+
+
 class DeltaSnapshot(np.ndarray):
     """An array snapshot that may also carry a journal mark.
 
@@ -150,6 +158,15 @@ class DeltaSnapshot(np.ndarray):
     attribute: ``journal_mark``, consumed by the owning component's
     ``restore``.  A snapshot without a usable mark restores via the
     full-copy path.
+
+    Marks are **process-local**: they hold a reference to the live
+    journal object of the component that issued them.  Pickling a
+    snapshot (a :class:`repro.parallel.TrialPool` worker result, a
+    checkpoint shipped across processes) therefore drops the mark — the
+    default reduction would drag the whole journal log along and the
+    unpickled mark would alias a journal the target process never
+    advanced.  The unpickled snapshot keeps its full copy and restores
+    via the full-copy path, which is always sound.
     """
 
     def __new__(cls, data: np.ndarray, mark: Optional[JournalMark] = None):
@@ -162,12 +179,16 @@ class DeltaSnapshot(np.ndarray):
             return
         self.journal_mark = getattr(obj, "journal_mark", None)
 
+    def __reduce__(self):
+        return (_rebuild_delta_snapshot, (np.asarray(self).copy(),))
+
 
 class SnapshotTuple(tuple):
     """A tuple-of-arrays snapshot that may also carry a journal mark.
 
     Unpacks exactly like the plain tuple the seed API returned
-    (``tags, valid = table.snapshot()``).
+    (``tags, valid = table.snapshot()``).  Like :class:`DeltaSnapshot`,
+    pickling drops the process-local journal mark.
     """
 
     journal_mark: Optional[JournalMark]
@@ -176,3 +197,6 @@ class SnapshotTuple(tuple):
         obj = super().__new__(cls, items)
         obj.journal_mark = mark
         return obj
+
+    def __reduce__(self):
+        return (_rebuild_snapshot_tuple, (tuple(self),))

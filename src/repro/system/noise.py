@@ -32,7 +32,10 @@ from repro.cpu.process import Process
 
 __all__ = [
     "NoiseModel",
+    "NoiseDraw",
     "noise_branches",
+    "draw_noise",
+    "apply_noise_draw",
     "inject_noise",
     "run_workload_noise",
     "apply_fsm_steps",
@@ -86,6 +89,23 @@ class NoiseModel:
         if self.burst_size > 0 and rng.random() < self.burst_prob:
             n += self.burst_size
         return n
+
+    def gap_array(self, rng: np.random.Generator, n_gaps: int) -> np.ndarray:
+        """Sample ``n_gaps`` stage gaps in two vectorised draws.
+
+        Statistically identical to ``n_gaps`` :meth:`gap_branches` calls
+        but orders of magnitude cheaper — per-call :class:`Generator`
+        overhead dominates scalar draws.  The *stream* differs from the
+        scalar call sequence, so use this only where a caller owns the
+        whole generator (pre-drawn trial plans), never to replay a
+        scalar engine's draws.
+        """
+        gaps = np.zeros(n_gaps, dtype=np.int64)
+        if self.ambient_branches > 0:
+            gaps += rng.poisson(self.ambient_branches, size=n_gaps)
+        if self.burst_size > 0:
+            gaps[rng.random(size=n_gaps) < self.burst_prob] += self.burst_size
+        return gaps
 
 
 def noise_branches(
@@ -148,6 +168,48 @@ def run_workload_noise(core: PhysicalCore, workload, n: int) -> None:
         core.execute_branch(process, address, taken)
 
 
+@dataclass(frozen=True)
+class NoiseDraw:
+    """All randomness one noise gap consumes, drawn up front.
+
+    Splitting the draw (:func:`draw_noise`) from the state mutation
+    (:func:`apply_noise_draw`) lets the scalar and batch calibration
+    engines consume the *identical* generator call sequence: the batch
+    engine never mutates predictor state, but it must draw exactly what
+    the scalar reference draws to stay bit-compatible.
+    """
+
+    n: int
+    addresses: np.ndarray
+    outcomes: np.ndarray
+    gshare_indices: np.ndarray
+    nudges: np.ndarray
+
+
+def draw_noise(
+    rng: np.random.Generator,
+    n: int,
+    n_gshare_entries: int,
+    region: Tuple[int, int] = NOISE_REGION,
+) -> NoiseDraw:
+    """Draw the randomness of one ``n``-branch noise gap.
+
+    Generator calls happen in the exact order the seed ``inject_noise``
+    made them (addresses, outcomes, gshare indices, selector nudges), so
+    any caller mixing this with other draws on the same generator sees
+    an unchanged stream.  ``n <= 0`` draws nothing.
+    """
+    if n <= 0:
+        empty = np.empty(0, dtype=np.int64)
+        return NoiseDraw(0, empty, np.empty(0, dtype=bool), empty, empty)
+    low, high = region
+    addresses = rng.integers(low, high, size=n)
+    outcomes = rng.integers(0, 2, size=n).astype(bool)
+    gshare_indices = rng.integers(0, n_gshare_entries, size=n)
+    nudges = rng.integers(-1, 2, size=n)
+    return NoiseDraw(int(n), addresses, outcomes, gshare_indices, nudges)
+
+
 def inject_noise(
     core: PhysicalCore,
     n: int,
@@ -161,21 +223,29 @@ def inject_noise(
     and the selector, and advances the clock.  Performance counters of the
     noise source are not modelled — no attack reads them.
     """
+    apply_noise_draw(
+        core,
+        draw_noise(rng, n, core.predictor.gshare.pht.n_entries, region),
+    )
+
+
+def apply_noise_draw(core: PhysicalCore, draw: NoiseDraw) -> None:
+    """Apply one pre-drawn noise gap (see :class:`NoiseDraw`) to ``core``."""
+    n = draw.n
     if n <= 0:
         return
-    low, high = region
     predictor = core.predictor
     step_table = predictor.bimodal.pht.fsm.step_table
 
-    addresses = rng.integers(low, high, size=n)
-    outcomes = rng.integers(0, 2, size=n).astype(bool)
+    addresses = draw.addresses
+    outcomes = draw.outcomes
 
     bimodal_idx = (addresses % predictor.bimodal.pht.n_entries).astype(np.int64)
     predictor.bimodal.pht.record_touch(bimodal_idx)
     apply_fsm_steps(predictor.bimodal.pht.levels, step_table, bimodal_idx, outcomes)
 
     # gshare indices are effectively uniform anyway (PC xor evolving GHR).
-    gshare_idx = rng.integers(0, predictor.gshare.pht.n_entries, size=n)
+    gshare_idx = draw.gshare_indices
     predictor.gshare.pht.record_touch(gshare_idx)
     apply_fsm_steps(predictor.gshare.pht.levels, step_table, gshare_idx, outcomes)
 
@@ -201,7 +271,7 @@ def inject_noise(
     # from the clipped result, not from the drift vector.
     sel = predictor.selector
     sel_idx = (addresses % sel.n_entries).astype(np.int64)
-    nudges = rng.integers(-1, 2, size=n)
+    nudges = draw.nudges
     drift = np.zeros(sel.n_entries, dtype=np.int64)
     np.add.at(drift, sel_idx, nudges)
     new_counters = np.clip(
