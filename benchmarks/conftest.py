@@ -13,15 +13,20 @@ result.
 Set ``REPRO_BENCH_SCALE`` (default 1.0) to scale experiment sizes up or
 down, e.g. ``REPRO_BENCH_SCALE=5 pytest benchmarks/`` for a
 closer-to-paper run.
+
+Every emitted result also gets a ``results/<name>.manifest.json``
+provenance record (see ``benchmarks/_common.py``).
 """
 
 from __future__ import annotations
 
 import os
+import sys
 from pathlib import Path
 from typing import List, Tuple
 
-RESULTS_DIR = Path(__file__).parent / "results"
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import RESULTS_DIR, write_result  # noqa: E402
 
 _EMITTED: List[Tuple[str, str]] = []
 
@@ -35,9 +40,12 @@ def scaled(n: int, minimum: int = 1) -> int:
 
 
 def emit(name: str, text: str) -> None:
-    """Record a regenerated table/figure for the terminal summary."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    """Record a regenerated table/figure for the terminal summary.
+
+    Writes the rendered text to ``results/<name>.txt`` with a run
+    manifest beside it.
+    """
+    write_result(name, text)
     _EMITTED.append((name, text))
 
 

@@ -31,7 +31,9 @@ Package map:
 * :mod:`repro.core` — the BranchScope attack itself,
 * :mod:`repro.victims` — Listing 2 / Montgomery ladder / libjpeg victims,
 * :mod:`repro.mitigations` — the §10 defenses,
-* :mod:`repro.analysis` — statistics and reporting helpers.
+* :mod:`repro.analysis` — statistics and reporting helpers,
+* :mod:`repro.parallel` — the deterministic forked trial pool,
+* :mod:`repro.obs` — tracing, metrics and run-provenance manifests.
 """
 
 from repro.bpu import (
@@ -51,6 +53,7 @@ from repro.core import (
 )
 from repro.core.covert import error_rate
 from repro.cpu import PhysicalCore, Process
+from repro.obs import disable_tracing, enable_tracing, tracing
 from repro.system import AttackScheduler, Enclave, MaliciousOS, NoiseSetting
 
 __version__ = "1.0.0"
@@ -71,8 +74,11 @@ __all__ = [
     "RandomizationBlock",
     "State",
     "__version__",
+    "disable_tracing",
+    "enable_tracing",
     "error_rate",
     "haswell",
     "sandy_bridge",
     "skylake",
+    "tracing",
 ]

@@ -39,7 +39,7 @@ class BranchIdentificationTable:
         self._tag_mask = (1 << self.tag_bits) - 1
         self.tags = np.zeros(self.n_sets, dtype=np.int64)
         self.valid = np.zeros(self.n_sets, dtype=bool)
-        self._journal = WriteJournal(cap=max(256, self.n_sets // 8))
+        self._journal = WriteJournal(cap=max(256, self.n_sets // 8), name="bit")
 
     def _split(self, address: int) -> Tuple[int, int]:
         address = int(address)

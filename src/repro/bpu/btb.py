@@ -58,7 +58,7 @@ class BranchTargetBuffer:
         self.tags = np.zeros(self.n_sets, dtype=np.int64)
         self.targets = np.zeros(self.n_sets, dtype=np.int64)
         self.valid = np.zeros(self.n_sets, dtype=bool)
-        self._journal = WriteJournal(cap=max(256, self.n_sets // 8))
+        self._journal = WriteJournal(cap=max(256, self.n_sets // 8), name="btb")
 
     def _record(self, index: int) -> None:
         self._journal.record(

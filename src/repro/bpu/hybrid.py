@@ -32,6 +32,7 @@ from repro.bpu.ghr import GlobalHistoryRegister
 from repro.bpu.gshare import GSharePredictor
 from repro.bpu.pht import PatternHistoryTable
 from repro.bpu.selector import Choice, SelectorTable
+from repro.obs import trace as obs
 
 __all__ = ["Component", "Prediction", "HybridPredictor"]
 
@@ -160,6 +161,18 @@ class HybridPredictor:
         exactly once.
         """
         train = taken if train_outcome is None else train_outcome
+        tracer = obs.TRACER
+        # Reading the before/after FSM levels costs several array lookups,
+        # so the "bpu" transition event carries its own category gate on
+        # top of the tracer-enabled gate.
+        trace_bpu = tracer is not None and tracer.wants("bpu")
+        if trace_bpu:
+            selector_index = self.selector.index(address)
+            before = (
+                int(self.bimodal.pht.levels[prediction.bimodal_index]),
+                int(self.gshare.pht.levels[prediction.gshare_index]),
+                int(self.selector.counters[selector_index]),
+            )
         self.bimodal.pht.update(prediction.bimodal_index, train)
         self.gshare.update(address, train, index=prediction.gshare_index)
         if prediction.cold:
@@ -174,6 +187,28 @@ class HybridPredictor:
         self.bit.insert(address)
         if taken and target is not None:
             self.btb.allocate(address, target)
+        if trace_bpu:
+            tracer.emit(
+                "bpu",
+                "train",
+                address=address,
+                taken=taken,
+                trained=train,
+                component=prediction.component.name,
+                cold=prediction.cold,
+                bimodal_level=(
+                    before[0],
+                    int(self.bimodal.pht.levels[prediction.bimodal_index]),
+                ),
+                gshare_level=(
+                    before[1],
+                    int(self.gshare.pht.levels[prediction.gshare_index]),
+                ),
+                selector_counter=(
+                    before[2],
+                    int(self.selector.counters[selector_index]),
+                ),
+            )
 
     def execute(
         self,

@@ -57,7 +57,7 @@ class PatternHistoryTable:
         self.n_entries = int(n_entries)
         self._initial_level = fsm.level_for(initial_state)
         self._levels = np.full(self.n_entries, self._initial_level, dtype=np.int8)
-        self._journal = WriteJournal(cap=max(256, self.n_entries // 8))
+        self._journal = WriteJournal(cap=max(256, self.n_entries // 8), name="pht")
 
     @property
     def levels(self) -> np.ndarray:

@@ -59,7 +59,7 @@ class SelectorTable:
         self.n_entries = int(n_entries)
         self._initial = int(initial_counter)
         self.counters = np.full(self.n_entries, self._initial, dtype=np.int8)
-        self._journal = WriteJournal(cap=max(256, self.n_entries // 8))
+        self._journal = WriteJournal(cap=max(256, self.n_entries // 8), name="selector")
 
     def record_touch(self, indices: np.ndarray) -> None:
         """Journal current counter values before an external in-place

@@ -11,12 +11,21 @@ experiments without writing harness code:
     $ python -m repro fsm-table --preset skylake
     $ python -m repro pht-size --preset haswell
     $ python -m repro poison
+
+The ``covert`` and ``attack`` experiments accept ``--trace FILE`` (write
+a JSONL trace of the run, with a run manifest beside it) and
+``--metrics`` (print the run's metric families afterwards); ``repro
+trace summary|export`` then digests a written trace or converts it to
+Chrome ``trace_event`` JSON for Perfetto.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
+import time
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
@@ -56,6 +65,7 @@ def build_parser() -> argparse.ArgumentParser:
     covert.add_argument("--setting", choices=_SETTINGS, default="isolated")
     covert.add_argument("--bits", type=int, default=500)
     covert.add_argument("--seed", type=int, default=42)
+    _add_obs_flags(covert)
 
     attack = sub.add_parser(
         "attack", help="spy on a secret-bit-array victim (Listing 2)"
@@ -64,6 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--setting", choices=_SETTINGS, default="isolated")
     attack.add_argument("--bits", type=int, default=64)
     attack.add_argument("--seed", type=int, default=42)
+    _add_obs_flags(attack)
 
     fsm = sub.add_parser(
         "fsm-table", help="regenerate Table 1 for one microarchitecture"
@@ -82,7 +93,83 @@ def build_parser() -> argparse.ArgumentParser:
     poison.add_argument("--preset", choices=PRESETS, default="skylake")
     poison.add_argument("--rounds", type=int, default=300)
 
+    trace = sub.add_parser(
+        "trace", help="inspect or convert a JSONL trace written by --trace"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summary = trace_sub.add_parser(
+        "summary", help="print a digest of a JSONL trace"
+    )
+    trace_summary.add_argument("trace_file")
+    trace_export = trace_sub.add_parser(
+        "export",
+        help="convert a JSONL trace to Chrome trace_event JSON (Perfetto)",
+    )
+    trace_export.add_argument("trace_file")
+    trace_export.add_argument(
+        "-o", "--output",
+        help="output path (default: <trace_file> with .chrome.json)",
+    )
+
     return parser
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help=(
+            "write a JSONL trace of the run to FILE (a run manifest is "
+            "written beside it)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect and print the run's metric families",
+    )
+
+
+@contextlib.contextmanager
+def _observed_run(args, name: str):
+    """Wrap an experiment command in the --trace/--metrics plumbing.
+
+    No-op (tracing stays disabled) when neither flag was given, so the
+    untraced CLI path is byte-identical to the historical one.
+    """
+    from repro import obs
+
+    trace_path = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    if not trace_path and not want_metrics:
+        yield
+        return
+    started = time.time()
+    with obs.tracing(collect_metrics=want_metrics) as tracer:
+        yield
+    if trace_path:
+        path = Path(trace_path)
+        obs.write_jsonl(
+            tracer, path, meta={"command": name, "preset": args.preset}
+        )
+        manifest = obs.RunManifest.capture(
+            name,
+            preset=args.preset,
+            seed=args.seed,
+            duration_seconds=time.time() - started,
+            extra={
+                "events_emitted": tracer.emitted,
+                "events_dropped": tracer.dropped,
+            },
+        )
+        manifest.add_result(path.name, path.read_text())
+        manifest_path = path.with_name(path.stem + ".manifest.json")
+        manifest.write(manifest_path)
+        print(f"trace written to {path} (manifest {manifest_path})")
+    if want_metrics:
+        text = tracer.metrics.render_text()
+        if text:
+            print(text)
 
 
 def _cmd_presets(args) -> int:
@@ -112,20 +199,23 @@ def _cmd_presets(args) -> int:
 def _cmd_covert(args) -> int:
     from repro.core.covert import CovertChannel, error_rate
 
-    core = PhysicalCore(PRESETS[args.preset](), seed=args.seed)
-    channel = CovertChannel.for_processes(
-        core,
-        Process("trojan"),
-        Process("spy"),
-        setting=_SETTINGS[args.setting],
-    )
-    bits = np.random.default_rng(args.seed).integers(0, 2, args.bits).tolist()
-    received = channel.transmit(bits)
-    rate = error_rate(bits, received)
-    print(
-        f"{args.preset} / {args.setting}: transmitted {args.bits} bits, "
-        f"error rate {rate:.2%}"
-    )
+    with _observed_run(args, "covert"):
+        core = PhysicalCore(PRESETS[args.preset](), seed=args.seed)
+        channel = CovertChannel.for_processes(
+            core,
+            Process("trojan"),
+            Process("spy"),
+            setting=_SETTINGS[args.setting],
+        )
+        bits = (
+            np.random.default_rng(args.seed).integers(0, 2, args.bits).tolist()
+        )
+        received = channel.transmit(bits)
+        rate = error_rate(bits, received)
+        print(
+            f"{args.preset} / {args.setting}: transmitted {args.bits} bits, "
+            f"error rate {rate:.2%}"
+        )
     return 0
 
 
@@ -133,27 +223,28 @@ def _cmd_attack(args) -> int:
     from repro.core.attack import BranchScope
     from repro.victims import SecretBitArrayVictim
 
-    core = PhysicalCore(PRESETS[args.preset](), seed=args.seed)
-    secret = (
-        np.random.default_rng(args.seed).integers(0, 2, args.bits).tolist()
-    )
-    victim = SecretBitArrayVictim(secret)
-    attack = BranchScope(
-        core,
-        Process("spy"),
-        victim.branch_address,
-        setting=_SETTINGS[args.setting],
-    )
-    recovered = [
-        int(b)
-        for b in attack.spy_on_bits(
-            lambda: victim.execute_next(core), args.bits
+    with _observed_run(args, "attack"):
+        core = PhysicalCore(PRESETS[args.preset](), seed=args.seed)
+        secret = (
+            np.random.default_rng(args.seed).integers(0, 2, args.bits).tolist()
         )
-    ]
-    correct = sum(1 for a, b in zip(secret, recovered) if a == b)
-    print(f"secret    : {''.join(map(str, secret))}")
-    print(f"recovered : {''.join(map(str, recovered))}")
-    print(f"{correct}/{args.bits} bits correct")
+        victim = SecretBitArrayVictim(secret)
+        attack = BranchScope(
+            core,
+            Process("spy"),
+            victim.branch_address,
+            setting=_SETTINGS[args.setting],
+        )
+        recovered = [
+            int(b)
+            for b in attack.spy_on_bits(
+                lambda: victim.execute_next(core), args.bits
+            )
+        ]
+        correct = sum(1 for a, b in zip(secret, recovered) if a == b)
+        print(f"secret    : {''.join(map(str, secret))}")
+        print(f"recovered : {''.join(map(str, recovered))}")
+        print(f"{correct}/{args.bits} bits correct")
     return 0
 
 
@@ -230,6 +321,23 @@ def _cmd_poison(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro import obs
+
+    meta, events = obs.read_jsonl(args.trace_file)
+    if args.trace_command == "summary":
+        print(obs.summarize(events, meta))
+        return 0
+    # export
+    output = args.output
+    if output is None:
+        source = Path(args.trace_file)
+        output = source.with_name(source.stem + ".chrome.json")
+    path = obs.write_chrome_trace(events, output)
+    print(f"chrome trace written to {path} ({len(events)} events)")
+    return 0
+
+
 _COMMANDS = {
     "presets": _cmd_presets,
     "covert": _cmd_covert,
@@ -237,6 +345,7 @@ _COMMANDS = {
     "fsm-table": _cmd_fsm_table,
     "pht-size": _cmd_pht_size,
     "poison": _cmd_poison,
+    "trace": _cmd_trace,
 }
 
 

@@ -26,6 +26,7 @@ from repro.core.prime_probe import probe_pair
 from repro.core.randomizer import CompiledBlock, PAPER_BLOCK_BRANCHES
 from repro.cpu.core import PhysicalCore
 from repro.cpu.process import Process
+from repro.obs import trace as obs
 from repro.system.scheduler import AttackScheduler, NoiseSetting
 
 __all__ = ["BranchScope", "SpiedBit"]
@@ -134,9 +135,19 @@ class BranchScope:
         pattern = probe_pair(  # stage 3
             self.core, self.spy, self.address, self.probe_outcomes
         ).pattern
-        return SpiedBit(
-            taken=bool(self._dictionary[pattern]), pattern=pattern
-        )
+        taken = bool(self._dictionary[pattern])
+        tracer = obs.TRACER
+        if tracer is not None:
+            tracer.emit(
+                "probe",
+                "classified",
+                cycle=self.core.clock.now,
+                pid=self.spy.pid,
+                address=self.address,
+                pattern=pattern,
+                taken=taken,
+            )
+        return SpiedBit(taken=taken, pattern=pattern)
 
     def spy_on_bits(
         self, trigger: Callable[[], None], n_bits: int

@@ -65,6 +65,7 @@ from repro.core.randomizer import (
 from repro.cpu.core import PhysicalCore
 from repro.cpu.process import Process
 from repro.cpu.timing import TimingModel
+from repro.obs import trace as obs
 from repro.parallel import TrialPool, resolve_workers, spawn_seeds
 from repro.system.noise import (
     NoiseDraw,
@@ -77,6 +78,7 @@ from repro.system.noise import (
 __all__ = [
     "BlockAssessment",
     "CalibrationError",
+    "SearchStats",
     "TrialPlan",
     "assess_block",
     "assess_block_batch",
@@ -92,6 +94,49 @@ STABILITY_THRESHOLD = 0.85
 
 class CalibrationError(RuntimeError):
     """No candidate block produced the requested stable state."""
+
+
+@dataclass(frozen=True)
+class SearchStats:
+    """How a :func:`find_block` search spent its effort.
+
+    Returned alongside the block via ``find_block(..., with_stats=True)``.
+    ``assessed`` is ``None`` on the pooled path (a cancelled-early fan-out
+    does not report how many trials ran); ``scalar_fallbacks`` counts
+    fallbacks observed *in this process* — trials running in forked
+    workers keep their own counters, so ``scalar_engine_forced`` is the
+    portable signal that the fast engine was disabled for the search.
+    """
+
+    #: Candidate seeds examined (serial) or submitted to the pool.
+    candidates: int
+    #: Full stability assessments actually run (``None`` when pooled).
+    assessed: Optional[int]
+    #: Scalar-engine fallbacks recorded in this process during the search.
+    scalar_fallbacks: int
+    #: True when the fallback predicate disables the batch engine for
+    #: every assessment of this search (mitigation/timing on the core).
+    scalar_engine_forced: bool
+    #: Worker count the search resolved to.
+    workers: int
+
+
+def _trace_assessment(
+    engine: str, target_address: int, assessment: "BlockAssessment"
+) -> None:
+    """Emit the per-assessment "calibration" event (no-op untraced)."""
+    tracer = obs.TRACER
+    if tracer is not None:
+        tracer.emit(
+            "calibration",
+            "block_assessed",
+            engine=engine,
+            address=target_address,
+            seed=assessment.seed,
+            tt=f"{assessment.tt_pattern}:{assessment.tt_frequency:.3f}",
+            nn=f"{assessment.nn_pattern}:{assessment.nn_frequency:.3f}",
+            stable=assessment.stable,
+        )
 
 
 @dataclass(frozen=True)
@@ -232,7 +277,11 @@ def assess_block(
     are exactly the same.
     """
     if plan is not None:
-        return _assess_block_plan(core, spy, compiled, target_address, plan)
+        assessment = _assess_block_plan(
+            core, spy, compiled, target_address, plan
+        )
+        _trace_assessment("scalar", target_address, assessment)
+        return assessment
     rng = rng if rng is not None else core.rng
     noise = noise if noise is not None else NoiseModel.isolated()
     fsm = core.predictor.bimodal.pht.fsm
@@ -252,13 +301,15 @@ def assess_block(
     core.restore(checkpoint)
     tt_pattern, tt_freq = observations[(True, True)]
     nn_pattern, nn_freq = observations[(False, False)]
-    return BlockAssessment(
+    assessment = BlockAssessment(
         seed=compiled.block.seed,
         tt_pattern=tt_pattern,
         tt_frequency=tt_freq,
         nn_pattern=nn_pattern,
         nn_frequency=nn_freq,
     )
+    _trace_assessment("scalar", target_address, assessment)
+    return assessment
 
 
 def _assess_block_plan(
@@ -332,6 +383,10 @@ def assess_block_batch(
         plan is not None or type(core.timing) is TimingModel
     )
     if not supported:
+        obs.record_scalar_fallback(
+            "calibration_batch",
+            "mitigation" if not batch_scan_supported(core) else "custom_timing",
+        )
         return assess_block(
             core,
             spy,
@@ -344,7 +399,7 @@ def assess_block_batch(
         )
     from repro.core.calibration_batch import batch_assess
 
-    return batch_assess(
+    assessment = batch_assess(
         core,
         spy,
         compiled,
@@ -354,6 +409,8 @@ def assess_block_batch(
         rng=rng,
         plan=plan,
     )
+    _trace_assessment("batch", target_address, assessment)
+    return assessment
 
 
 def find_block(
@@ -370,7 +427,8 @@ def find_block(
     rng: Optional[np.random.Generator] = None,
     workers: Optional[int] = None,
     fast: bool = True,
-) -> CompiledBlock:
+    with_stats: bool = False,
+):
     """Search candidate blocks until one stably yields ``desired_state``.
 
     "The attacker can randomly generate the blocks of code that randomize
@@ -399,15 +457,68 @@ def find_block(
     core, so candidate assessment never advances mitigation state
     (rekey clocks, partition bookkeeping) of the caller's core.
 
+    With ``with_stats=True`` the return value is a
+    ``(CompiledBlock, SearchStats)`` pair surfacing how many candidates
+    and assessments the search consumed and whether (and how often, in
+    this process) the batch engine fell back to the scalar path.
+
     Raises :class:`CalibrationError` after ``max_candidates`` failures.
     """
     fsm = core.predictor.bimodal.pht.fsm
     assess = assess_block_batch if fast else assess_block
     desired_name = desired_state.value
     n_workers = resolve_workers(workers)
+    # Every pooled assessment carries a plan, so only the mitigation half
+    # of the fallback predicate can disable the batch engine there; the
+    # serial path (no plan) also falls back on a custom timing model.
+    scalar_forced = fast and not (
+        batch_scan_supported(core)
+        and (
+            type(core.timing) is TimingModel
+            or not (workers is None and n_workers == 1)
+        )
+    )
+    fallbacks_before = obs.scalar_fallback_counts().get("calibration_batch", 0)
+    tracer = obs.TRACER
+    if tracer is not None:
+        tracer.emit(
+            "calibration",
+            "search_start",
+            address=target_address,
+            desired=desired_state.value,
+            max_candidates=max_candidates,
+            workers=n_workers,
+            engine="batch" if fast and not scalar_forced else "scalar",
+        )
+
+    def _finish(compiled: CompiledBlock, candidates: int, assessed):
+        if tracer is not None:
+            tracer.emit(
+                "calibration",
+                "search_done",
+                address=target_address,
+                seed=compiled.block.seed,
+                candidates=candidates,
+            )
+        if not with_stats:
+            return compiled
+        fallbacks = (
+            obs.scalar_fallback_counts().get("calibration_batch", 0)
+            - fallbacks_before
+        )
+        return compiled, SearchStats(
+            candidates=candidates,
+            assessed=assessed,
+            scalar_fallbacks=fallbacks,
+            scalar_engine_forced=scalar_forced,
+            workers=n_workers,
+        )
 
     if workers is None and n_workers == 1:
-        for seed in range(seed_start, seed_start + max_candidates):
+        assessed = 0
+        for count, seed in enumerate(
+            range(seed_start, seed_start + max_candidates), start=1
+        ):
             block = RandomizationBlock.generate(
                 seed, n_branches=block_branches
             )
@@ -426,8 +537,9 @@ def find_block(
                 noise=noise,
                 rng=rng,
             )
+            assessed += 1
             if assessment.stable and assessment.decoded(fsm) is desired_state:
-                return compiled
+                return _finish(compiled, count, assessed)
         raise CalibrationError(
             f"no stable block for {desired_state} at {target_address:#x} "
             f"in {max_candidates} candidates"
@@ -475,7 +587,7 @@ def find_block(
             f"no stable block for {desired_state} at {target_address:#x} "
             f"in {max_candidates} candidates"
         )
-    return winner
+    return _finish(winner, max_candidates, None)
 
 
 def stability_experiment(

@@ -86,6 +86,7 @@ from repro.core.calibration import BlockAssessment, TrialPlan, _dominant_counts
 from repro.core.randomizer import CompiledBlock
 from repro.cpu.core import PhysicalCore
 from repro.cpu.process import Process
+from repro.obs import trace as obs
 from repro.system.noise import NoiseDraw, NoiseModel, draw_noise
 
 __all__ = ["batch_assess"]
@@ -289,6 +290,22 @@ def batch_assess(
     ghr_end = int(compiled.ghr_end)
 
     # -- phase 1: observation assembly --------------------------------------
+    if plan is None:
+        front_end = "replay"
+    elif hooked:
+        front_end = "plan_hooked"
+    else:
+        front_end = "closed_form"
+    tracer = obs.TRACER
+    if tracer is not None:
+        tracer.emit(
+            "calibration",
+            "batch_engine",
+            level="debug",
+            front_end=front_end,
+            address=T,
+            repetitions=R,
+        )
     if plan is None or hooked:
         static, outcomes, b_idx, g_idx, offsets, bulk = _stream_loop(
             core, spy, T, R, plan, noise, rng, ghr_end

@@ -37,6 +37,7 @@ from repro.core.randomizer import CompiledBlock, PAPER_BLOCK_BRANCHES
 from repro.core.timing_detect import TimingCalibration
 from repro.cpu.core import PhysicalCore
 from repro.cpu.process import Process
+from repro.obs import trace as obs
 from repro.parallel import TrialPool, spawn_seeds
 from repro.system.scheduler import AttackScheduler, NoiseSetting
 
@@ -269,14 +270,63 @@ class CovertChannel:
         stage_gap = self.scheduler.stage_gap
         victim_turn = self.scheduler.victim_turn
         send_bit = self.send_bit
+        # The tracer is resolved once per message, like the other
+        # per-message lookups: the untraced loop stays exactly the seed's
+        # call sequence, the traced loop additionally records each bit.
+        tracer = obs.TRACER
         received = []
+        if tracer is None:
+            for b in bits:
+                bit = int(b)
+                apply_block(core, spy)  # stage 1
+                stage_gap()
+                victim_turn(lambda bit=bit: send_bit(bit))  # stage 2
+                stage_gap()
+                received.append(dictionary[classify()])  # stage 3
+            return received
+        start_cycle = core.clock.now
         for b in bits:
             bit = int(b)
             apply_block(core, spy)  # stage 1
             stage_gap()
             victim_turn(lambda bit=bit: send_bit(bit))  # stage 2
             stage_gap()
-            received.append(dictionary[classify()])  # stage 3
+            pattern = classify()  # stage 3
+            decoded = dictionary[pattern]
+            received.append(decoded)
+            tracer.emit(
+                "covert",
+                "bit",
+                cycle=core.clock.now,
+                pid=spy.pid,
+                sent=bit,
+                decoded=decoded,
+                pattern=pattern,
+                correct=decoded == bit,
+            )
+        errors = sum(1 for b, r in zip(bits, received) if int(b) != r)
+        tracer.emit(
+            "covert",
+            "transmit",
+            cycle=start_cycle,
+            pid=spy.pid,
+            bits=len(received),
+            errors=errors,
+            dur=core.clock.now - start_cycle,
+        )
+        metrics = tracer.metrics
+        if metrics is not None:
+            metrics.counter(
+                "repro_covert_bits_total",
+                "covert-channel bits transmitted",
+                labels=("outcome",),
+            ).inc(len(received) - errors, outcome="correct")
+            if errors:
+                metrics.counter(
+                    "repro_covert_bits_total",
+                    "covert-channel bits transmitted",
+                    labels=("outcome",),
+                ).inc(errors, outcome="error")
         return received
 
     def trial_sweep(

@@ -35,13 +35,35 @@ from repro.core.prime_probe import probe_pair
 from repro.core.randomizer import CompiledBlock
 from repro.cpu.core import PhysicalCore
 from repro.cpu.process import Process
+from repro.obs import trace as obs
 
 __all__ = [
+    "ScanResult",
     "scan_states",
     "scan_states_reference",
     "hamming_ratio_curve",
     "estimate_pht_size",
 ]
+
+
+class ScanResult(List[DecodedState]):
+    """A scan's state vector, annotated with how it was computed.
+
+    Behaves exactly like the plain list the seed API returned (equality,
+    slicing — slices are plain lists — iteration), with two extra
+    attributes: ``engine`` (``"batch"`` or ``"reference"``) and
+    ``scalar_fallbacks`` — how many times this call routed an intended
+    batch scan to the scalar reference (0 or 1; non-zero only when
+    ``method="auto"`` hit an unsupported mitigation stack).
+    """
+
+    engine: str = "batch"
+    scalar_fallbacks: int = 0
+
+    def __init__(self, states, *, engine: str, scalar_fallbacks: int = 0):
+        super().__init__(states)
+        self.engine = engine
+        self.scalar_fallbacks = scalar_fallbacks
 
 
 def scan_states(
@@ -69,6 +91,11 @@ def scan_states(
     back to the reference otherwise.  The two engines return identical
     state vectors — pinned differentially in
     ``tests/test_batch_probe.py``.
+
+    The returned :class:`ScanResult` is a plain list of states that
+    additionally records which engine ran (``.engine``) and whether an
+    ``"auto"`` call was forced off the batch engine by a mitigation
+    (``.scalar_fallbacks``).
     """
     if method not in ("auto", "batch", "reference"):
         raise ValueError(f"unknown scan method {method!r}")
@@ -79,12 +106,20 @@ def scan_states(
             "(noisy counters / stochastic FSM); use method='auto'"
         )
     if method == "reference" or not supported:
-        return scan_states_reference(
-            core,
-            spy,
-            addresses,
-            compiled_block,
-            exercise_outcome=exercise_outcome,
+        fallbacks = 0
+        if method == "auto":
+            obs.record_scalar_fallback("batch_probe", "mitigation")
+            fallbacks = 1
+        return ScanResult(
+            scan_states_reference(
+                core,
+                spy,
+                addresses,
+                compiled_block,
+                exercise_outcome=exercise_outcome,
+            ),
+            engine="reference",
+            scalar_fallbacks=fallbacks,
         )
 
     checkpoint = core.checkpoint()
@@ -97,7 +132,17 @@ def scan_states(
     fsm = core.predictor.bimodal.pht.fsm
     signatures = batch_probe_signatures(core, spy, addresses)
     core.restore(checkpoint)
-    return batch_decode_states(fsm, *signatures)
+    tracer = obs.TRACER
+    if tracer is not None:
+        tracer.emit(
+            "probe",
+            "scan",
+            cycle=core.clock.now,
+            pid=spy.pid,
+            addresses=len(addresses),
+            engine="batch",
+        )
+    return ScanResult(batch_decode_states(fsm, *signatures), engine="batch")
 
 
 def scan_states_reference(

@@ -31,6 +31,7 @@ from repro.cpu.process import Process
 from repro.cpu.timing import TimingModel
 from repro.cpu.tsc import TimestampCounter
 from repro.mitigations.base import Mitigation, MitigationStack
+from repro.obs import trace as obs
 
 __all__ = ["BranchExecution", "PhysicalCore"]
 
@@ -114,7 +115,19 @@ class PhysicalCore:
         """Attacker-side counter read: exact unless a noisy-counter
         mitigation is installed."""
         value = self.counters_for(process).read(kind)
-        return self.mitigations.perturb_counter(self.rng, value)
+        perturbed = self.mitigations.perturb_counter(self.rng, value)
+        tracer = obs.TRACER
+        if tracer is not None and perturbed != value:
+            tracer.emit(
+                "mitigation",
+                "counter_perturbed",
+                cycle=self.clock.now,
+                pid=process.pid,
+                kind=kind.name,
+                raw=int(value),
+                observed=int(perturbed),
+            )
+        return perturbed
 
     def install_mitigation(self, mitigation: Mitigation) -> None:
         """Activate a §10 defense on this core."""
@@ -149,6 +162,7 @@ class PhysicalCore:
         cold_fetch = not self.icache.fetch(address)
 
         btb_miss = False
+        train_outcome = taken
         if self.mitigations.suppresses_prediction(process, address):
             # §10.2 "Removing prediction for sensitive branches": static
             # not-taken prediction, no BPU state is read or written.
@@ -196,6 +210,54 @@ class PhysicalCore:
             counters.increment(CounterKind.BRANCH_MISSES)
         counters.increment(CounterKind.CYCLES, latency)
 
+        tracer = obs.TRACER
+        if tracer is not None:
+            tracer.emit(
+                "branch",
+                "execute",
+                cycle=start_cycle,
+                pid=process.pid,
+                address=address,
+                taken=taken,
+                predicted=predicted,
+                mispredicted=not hit,
+                static=static,
+                cold=cold_fetch,
+                btb_miss=btb_miss,
+                dur=latency,
+            )
+            if static:
+                tracer.emit(
+                    "mitigation",
+                    "static_prediction",
+                    cycle=start_cycle,
+                    pid=process.pid,
+                    address=address,
+                )
+            elif train_outcome != taken:
+                tracer.emit(
+                    "mitigation",
+                    "training_corrupted",
+                    cycle=start_cycle,
+                    pid=process.pid,
+                    address=address,
+                    taken=taken,
+                    trained=train_outcome,
+                )
+            metrics = tracer.metrics
+            if metrics is not None:
+                metrics.counter(
+                    "repro_branches_total",
+                    "conditional branches executed",
+                    labels=("pid",),
+                ).inc(pid=process.pid)
+                if not hit:
+                    metrics.counter(
+                        "repro_branch_misses_total",
+                        "mispredicted conditional branches",
+                        labels=("pid",),
+                    ).inc(pid=process.pid)
+
         return BranchExecution(
             pid=process.pid,
             address=address,
@@ -238,6 +300,15 @@ class PhysicalCore:
         delta-restore differential reference — both paths restore
         identical state, pinned by ``tests/test_batch_probe.py``).
         """
+        tracer = obs.TRACER
+        if tracer is not None:
+            tracer.emit(
+                "snapshot",
+                "checkpoint",
+                cycle=self.clock.now,
+                full=full,
+                processes=len(self._counters),
+            )
         return {
             "predictor": self.predictor.snapshot(full=full),
             "icache": self.icache.snapshot(full=full),
@@ -255,6 +326,9 @@ class PhysicalCore:
         the checkpoint are dropped, so nothing accumulated since leaks
         through (a fresh zeroed file is allocated on next use).
         """
+        tracer = obs.TRACER
+        if tracer is not None:
+            tracer.emit("snapshot", "restore", cycle=self.clock.now)
         self.predictor.restore(checkpoint["predictor"])
         self.icache.restore(checkpoint["icache"])
         self.clock.restore(checkpoint["clock"])

@@ -34,7 +34,7 @@ class InstructionCache:
         self._tag_mask = (1 << self.tag_bits) - 1
         self.tags = np.zeros(self.n_sets, dtype=np.int64)
         self.valid = np.zeros(self.n_sets, dtype=bool)
-        self._journal = WriteJournal(cap=max(256, self.n_sets // 8))
+        self._journal = WriteJournal(cap=max(256, self.n_sets // 8), name="icache")
 
     def _split(self, address: int) -> Tuple[int, int]:
         line = int(address) // self.line_bytes

@@ -43,9 +43,12 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
+
+from repro.obs import trace as obs
 
 __all__ = [
     "TrialPool",
@@ -100,11 +103,19 @@ def spawn_rngs(seed: Optional[int], n: int) -> List[np.random.Generator]:
 _ACTIVE_FN: Optional[Callable[[Any], Any]] = None
 
 
-def _run_chunk(chunk: Sequence[Any]) -> List[Any]:
-    """Worker body: run the inherited trial function over one chunk."""
+def _run_chunk(chunk: Sequence[Any]) -> tuple:
+    """Worker body: run the inherited trial function over one chunk.
+
+    Returns ``(worker_pid, elapsed_seconds, results)`` so the parent can
+    attribute per-chunk latency to workers in its trace (events a forked
+    worker emits into *its* tracer die with the worker; the parent is
+    the only durable sink).
+    """
     fn = _ACTIVE_FN
     assert fn is not None, "worker forked without an active trial function"
-    return [fn(payload) for payload in chunk]
+    start = time.perf_counter()
+    results = [fn(payload) for payload in chunk]
+    return os.getpid(), time.perf_counter() - start, results
 
 
 class TrialPool:
@@ -144,15 +155,58 @@ class TrialPool:
     ) -> List[Any]:
         global _ACTIVE_FN
         _ACTIVE_FN = fn
+        chunks = self._chunks(payloads, workers)
+        tracer = obs.TRACER
+        if tracer is not None:
+            tracer.emit(
+                "pool",
+                "dispatch",
+                payloads=len(payloads),
+                chunks=len(chunks),
+                workers=workers,
+            )
+        dispatch_start = time.perf_counter()
         try:
             ctx = multiprocessing.get_context("fork")
             with ctx.Pool(processes=workers) as pool:
-                chunk_results = pool.map(
-                    _run_chunk, self._chunks(payloads, workers)
-                )
+                chunk_results = pool.map(_run_chunk, chunks)
         finally:
             _ACTIVE_FN = None
-        return [result for chunk in chunk_results for result in chunk]
+        if tracer is not None:
+            wall = time.perf_counter() - dispatch_start
+            for i, (worker_pid, elapsed, results) in enumerate(chunk_results):
+                tracer.emit(
+                    "pool",
+                    "chunk",
+                    pid=worker_pid,
+                    chunk=i,
+                    trials=len(results),
+                    elapsed_s=round(elapsed, 6),
+                )
+            tracer.emit(
+                "pool",
+                "collected",
+                payloads=len(payloads),
+                workers=workers,
+                elapsed_s=round(wall, 6),
+            )
+            metrics = tracer.metrics
+            if metrics is not None:
+                hist = metrics.histogram(
+                    "repro_pool_chunk_seconds",
+                    "wall time of one forked trial chunk",
+                )
+                for _, elapsed, _results in chunk_results:
+                    hist.observe(elapsed)
+                metrics.counter(
+                    "repro_pool_trials_total",
+                    "trials dispatched through forked workers",
+                ).inc(len(payloads))
+        return [
+            result
+            for _, _, results in chunk_results
+            for result in results
+        ]
 
     # -- API ----------------------------------------------------------------
 

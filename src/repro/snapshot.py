@@ -45,6 +45,8 @@ from typing import Any, List, NamedTuple, Optional
 
 import numpy as np
 
+from repro.obs import trace as obs
+
 __all__ = [
     "JournalMark",
     "WriteJournal",
@@ -77,9 +79,9 @@ class WriteJournal:
     longer than the table is slower than the full copy it replaces.
     """
 
-    __slots__ = ("_entries", "_sizes", "_epoch", "_armed", "_size", "_cap")
+    __slots__ = ("_entries", "_sizes", "_epoch", "_armed", "_size", "_cap", "name")
 
-    def __init__(self, cap: int) -> None:
+    def __init__(self, cap: int, *, name: str = "") -> None:
         if cap <= 0:
             raise ValueError("journal cap must be positive")
         self._entries: List[Any] = []
@@ -88,6 +90,8 @@ class WriteJournal:
         self._armed = False
         self._size = 0
         self._cap = int(cap)
+        #: Component label carried into "snapshot" trace events.
+        self.name = name
 
     @property
     def armed(self) -> bool:
@@ -120,21 +124,45 @@ class WriteJournal:
         log is truncated back to the mark, so both this mark and any
         older ones remain restorable.
         """
+        tracer = obs.TRACER
         if (
             mark.journal is not self
             or mark.epoch != self._epoch
             or mark.position > len(self._entries)
         ):
+            if tracer is not None:
+                tracer.emit(
+                    "snapshot",
+                    "rewind_stale",
+                    journal=self.name,
+                    epoch=self._epoch,
+                    mark_epoch=mark.epoch,
+                )
             return None
         tail = self._entries[mark.position:]
         del self._entries[mark.position:]
         self._size -= sum(self._sizes[mark.position:])
         del self._sizes[mark.position:]
         tail.reverse()
+        if tracer is not None:
+            tracer.emit(
+                "snapshot",
+                "rewind_delta",
+                journal=self.name,
+                entries=len(tail),
+            )
         return tail
 
     def invalidate(self) -> None:
         """Staleness-poison every outstanding mark and clear the log."""
+        tracer = obs.TRACER
+        if tracer is not None:
+            tracer.emit(
+                "snapshot",
+                "journal_invalidated",
+                journal=self.name,
+                entries=len(self._entries),
+            )
         self._epoch += 1
         self._entries.clear()
         self._sizes.clear()

@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -23,6 +25,17 @@ class TestParser:
         assert args.preset == "skylake"
         assert args.setting == "isolated"
         assert args.bits == 500
+        assert args.trace is None
+        assert args.metrics is False
+
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_trace_summary_takes_a_file(self):
+        args = build_parser().parse_args(["trace", "summary", "run.jsonl"])
+        assert args.trace_command == "summary"
+        assert args.trace_file == "run.jsonl"
 
 
 class TestCommands:
@@ -82,3 +95,74 @@ class TestCommands:
         assert main(["poison", "--rounds", "40"]) == 0
         out = capsys.readouterr().out
         assert "poisoned" in out
+
+
+class TestObservabilityFlags:
+    COVERT = [
+        "covert",
+        "--bits", "20",
+        "--setting", "silent",
+        "--preset", "sandy_bridge",
+    ]
+
+    def test_covert_traced_run_writes_trace_and_manifest(
+        self, tmp_path, capsys
+    ):
+        trace = tmp_path / "run.jsonl"
+        assert main(self.COVERT + ["--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "error rate 0.00%" in out  # result unchanged by tracing
+        assert trace.exists()
+        manifest = json.loads(
+            (tmp_path / "run.manifest.json").read_text()
+        )
+        assert manifest["name"] == "covert"
+        assert manifest["preset"] == "sandy_bridge"
+        assert manifest["source"] == "run"
+        assert "run.jsonl" in manifest["results"]
+
+    def test_covert_metrics_flag_prints_families(self, capsys):
+        assert main(self.COVERT + ["--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_branches_total" in out
+        assert "repro_covert_bits_total" in out
+
+    def test_attack_traced(self, tmp_path, capsys):
+        trace = tmp_path / "attack.jsonl"
+        assert (
+            main(
+                [
+                    "attack",
+                    "--bits", "8",
+                    "--setting", "silent",
+                    "--preset", "haswell",
+                    "--trace", str(trace),
+                ]
+            )
+            == 0
+        )
+        assert "8/8 bits correct" in capsys.readouterr().out
+        assert trace.exists()
+
+    def test_trace_summary_and_export(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        main(self.COVERT + ["--trace", str(trace)])
+        capsys.readouterr()
+
+        assert main(["trace", "summary", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "events retained" in out
+        assert "covert" in out
+
+        assert main(["trace", "export", str(trace)]) == 0
+        capsys.readouterr()
+        document = json.loads((tmp_path / "run.chrome.json").read_text())
+        assert document["traceEvents"]
+        phases = {record["ph"] for record in document["traceEvents"]}
+        assert phases <= {"M", "X", "i"}
+
+    def test_tracing_disabled_after_traced_run(self, tmp_path):
+        from repro import obs
+
+        main(self.COVERT + ["--trace", str(tmp_path / "t.jsonl")])
+        assert obs.get_tracer() is None
