@@ -20,6 +20,7 @@ import os
 from pathlib import Path
 from typing import Optional
 
+from repro.ioutil import atomic_write_text
 from repro.obs import RunManifest
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -32,12 +33,18 @@ def write_result(
     duration_seconds: Optional[float] = None,
     results_dir: Optional[Path] = None,
 ) -> Path:
-    """Write ``results/<name>.txt`` plus its run manifest; returns the path."""
+    """Write ``results/<name>.txt`` plus its run manifest; returns the path.
+
+    Both the result text and the manifest land atomically (temp + fsync
+    + rename) so a bench killed mid-emission — the whole point of the
+    resilience layer's ``--resume`` — can never leave a torn result file
+    that a later resumed run would silently trust.
+    """
     results_dir = results_dir or RESULTS_DIR
     results_dir.mkdir(exist_ok=True)
     path = results_dir / f"{name}.txt"
     body = text + "\n"
-    path.write_text(body)
+    atomic_write_text(path, body)
     manifest = RunManifest.capture(
         name,
         duration_seconds=duration_seconds,

@@ -12,6 +12,11 @@ fidelity notes); REPRO_BENCH_SCALE raises the counts —
 trial-plan engine replaced the scalar per-branch loop.  Candidates fan
 across a ``TrialPool`` when ``REPRO_TRIAL_WORKERS`` is set, with the
 assessment list bit-identical at any worker count.
+
+Progress checkpoints to ``benchmarks/.checkpoints/fig4_stability.ckpt``;
+a killed run re-invoked with ``pytest benchmarks/ --resume`` continues
+where it stopped with a bit-identical assessment list (see
+MODELING.md §10).
 """
 
 from collections import Counter
@@ -31,7 +36,7 @@ N_BLOCKS = scaled(48)
 N_PROBES = min(scaled(40), 1000)
 
 
-def run_experiment():
+def run_experiment(checkpoint=None, resume=True):
     return stability_experiment(
         lambda: PhysicalCore(skylake(), seed=6),
         TARGET,
@@ -39,11 +44,19 @@ def run_experiment():
         block_branches=100_000,
         repetitions=N_PROBES,
         noise=NoiseModel.isolated(),
+        checkpoint=checkpoint,
+        resume=resume,
+        fingerprint_extra={"preset": "skylake", "core_seed": 6},
     )
 
 
-def test_fig4_stability(benchmark):
-    assessments = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+def test_fig4_stability(benchmark, campaign_checkpoint):
+    assessments = benchmark.pedantic(
+        run_experiment,
+        kwargs=campaign_checkpoint("fig4_stability"),
+        rounds=1,
+        iterations=1,
+    )
     fsm = skylake().fsm
 
     stable = [a for a in assessments if a.stable]

@@ -49,11 +49,17 @@ def payload_bits(kind: str, rng) -> list:
     return rng.integers(0, 2, N_BITS).tolist()
 
 
-def run_experiment():
+def run_experiment(checkpoint_factory=None):
     results = {}
     rates = {}
     for cpu_label, preset in PRESETS:
         for setting_label, setting in SETTINGS:
+            # One checkpointed sweep per cell: a killed run resumes at
+            # the first cell (and message) without a checkpoint.
+            ckpt = {}
+            if checkpoint_factory is not None:
+                name = f"table2_{cpu_label}_{setting_label}".replace(" ", "_")
+                ckpt = checkpoint_factory(name)
             core = PhysicalCore(preset(), seed=20)
             channel = CovertChannel.for_processes(
                 core,
@@ -72,7 +78,7 @@ def run_experiment():
                 for _ in range(N_TRIALS)
             ]
             sweep = channel.trial_sweep(
-                [bits for _, bits in trials], seed=22
+                [bits for _, bits in trials], seed=22, **ckpt
             )
             cell_errors = cell_total = 0
             cell_cycles = sum(channel.last_sweep_cycles)
@@ -104,8 +110,13 @@ PAPER = {
 }
 
 
-def test_table2_covert_error_rates(benchmark):
-    results, rates = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+def test_table2_covert_error_rates(benchmark, campaign_checkpoint):
+    results, rates = benchmark.pedantic(
+        run_experiment,
+        kwargs={"checkpoint_factory": campaign_checkpoint},
+        rounds=1,
+        iterations=1,
+    )
 
     rows = []
     for cpu_label, _ in PRESETS:

@@ -15,6 +15,7 @@ from repro.bpu import skylake
 from repro.core.covert import CovertChannel, CovertConfig, error_rate
 from repro.cpu import PhysicalCore, Process
 from repro.parallel import TrialPool
+from repro.resilience.checkpoint import ResumableCampaign
 from repro.system import Enclave, MaliciousOS
 from repro.system.scheduler import NoiseSetting
 
@@ -66,7 +67,7 @@ def transmit_via_enclave(quiesce: bool, bits):
     return received
 
 
-def run_experiment():
+def run_experiment(checkpoint=None, resume=True):
     rng = np.random.default_rng(25)
     # Cells are fully independent (each builds its own seeded core), so
     # they fan across a TrialPool (honours REPRO_TRIAL_WORKERS) with
@@ -85,15 +86,37 @@ def run_experiment():
         received = transmit_via_enclave(quiesce, bits)
         return sum(1 for a, b in zip(bits, received) if a != b)
 
-    errors = TrialPool().map(cell_trial, range(len(cells)))
+    pool = TrialPool()
+    indices = range(len(cells))
+    if checkpoint is None:
+        errors = pool.map(cell_trial, indices)
+    else:
+        # Cell trials are index-pure, so a killed run resumes losing at
+        # most the cells no checkpoint covers (one per batch here).
+        campaign = ResumableCampaign(
+            checkpoint,
+            fingerprint={
+                "experiment": "table3_sgx",
+                "n_bits": N_BITS,
+                "payloads": PAYLOADS,
+            },
+            interval=1,
+            resume=resume,
+        )
+        errors = campaign.map(pool, cell_trial, indices)
     return {
         (label, payload): (n_errors, len(bits))
         for (label, _, payload, bits), n_errors in zip(cells, errors)
     }
 
 
-def test_table3_sgx_covert(benchmark):
-    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+def test_table3_sgx_covert(benchmark, campaign_checkpoint):
+    results = benchmark.pedantic(
+        run_experiment,
+        kwargs=campaign_checkpoint("table3_sgx"),
+        rounds=1,
+        iterations=1,
+    )
 
     rows = []
     for label in ("SGX with noise", "SGX isolated"):

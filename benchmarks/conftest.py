@@ -16,6 +16,13 @@ closer-to-paper run.
 
 Every emitted result also gets a ``results/<name>.manifest.json``
 provenance record (see ``benchmarks/_common.py``).
+
+Long runs are crash-safe: each campaign-shaped bench checkpoints its
+progress under ``benchmarks/.checkpoints/`` (atomic, digest-verified —
+see :mod:`repro.resilience.checkpoint`), and re-running with
+``pytest benchmarks/ --resume`` picks up a killed run where it stopped,
+producing bit-identical results.  Without ``--resume`` any stale
+checkpoints are cleared first, so default runs stay fresh.
 """
 
 from __future__ import annotations
@@ -25,10 +32,52 @@ import sys
 from pathlib import Path
 from typing import List, Tuple
 
+import pytest
+
 sys.path.insert(0, str(Path(__file__).parent))
 from _common import RESULTS_DIR, write_result  # noqa: E402
 
+from repro.resilience.checkpoint import CheckpointStore  # noqa: E402
+
 _EMITTED: List[Tuple[str, str]] = []
+
+#: Where campaign-shaped benches keep their crash-safe progress.
+CHECKPOINTS_DIR = Path(__file__).parent / ".checkpoints"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--resume",
+        action="store_true",
+        default=False,
+        help=(
+            "resume interrupted benchmark campaigns from "
+            "benchmarks/.checkpoints (results are bit-identical to an "
+            "uninterrupted run)"
+        ),
+    )
+
+
+@pytest.fixture
+def campaign_checkpoint(request):
+    """Checkpoint kwargs for a campaign-shaped bench.
+
+    Returns a ``factory(name) -> {"checkpoint": ..., "resume": ...}``
+    dict ready to splat into :func:`stability_experiment` /
+    :meth:`CovertChannel.trial_sweep` /
+    :class:`~repro.resilience.ResumableCampaign`.  Checkpoints are
+    always written (so *any* run can be killed and later resumed);
+    ``--resume`` decides whether pre-existing progress is honoured or
+    cleared.
+    """
+    resume = request.config.getoption("--resume")
+
+    def factory(name: str) -> dict:
+        CHECKPOINTS_DIR.mkdir(exist_ok=True)
+        store = CheckpointStore(CHECKPOINTS_DIR / f"{name}.ckpt")
+        return {"checkpoint": store, "resume": resume}
+
+    return factory
 
 #: Global size multiplier for experiment workloads.
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))

@@ -35,7 +35,21 @@ from repro.bpu.presets import PRESETS
 from repro.cpu import PhysicalCore, Process
 from repro.system.scheduler import NoiseSetting
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "EXIT_INTERRUPTED",
+    "EXIT_CHECKPOINT_CORRUPT",
+    "EXIT_RETRY_EXHAUSTED",
+]
+
+#: Exit codes distinguishing the long-run failure modes (MODELING.md §10):
+#: user abort (Ctrl-C — progress is checkpointed, re-run to resume),
+#: unrecoverable checkpoint corruption/mismatch, and a trial chunk that
+#: exhausted its supervised retries.
+EXIT_INTERRUPTED = 130
+EXIT_CHECKPOINT_CORRUPT = 4
+EXIT_RETRY_EXHAUSTED = 5
 
 _SETTINGS = {
     "isolated": NoiseSetting.ISOLATED,
@@ -92,6 +106,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     poison.add_argument("--preset", choices=PRESETS, default="skylake")
     poison.add_argument("--rounds", type=int, default=300)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help=(
+            "run a checkpointed Figure-4 stability campaign (kill it, "
+            "re-run the same command, it resumes bit-identically)"
+        ),
+    )
+    campaign.add_argument("--preset", choices=PRESETS, default="haswell")
+    campaign.add_argument("--seed", type=int, default=31)
+    campaign.add_argument(
+        "--address",
+        type=lambda s: int(s, 0),
+        default=0x400,
+        help="target branch address (accepts hex)",
+    )
+    campaign.add_argument("--blocks", type=int, default=200)
+    campaign.add_argument("--branches", type=int, default=2000)
+    campaign.add_argument("--repetitions", type=int, default=50)
+    campaign.add_argument("--workers", type=int, default=None)
+    campaign.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="checkpoint file; progress persists across kills",
+    )
+    campaign.add_argument(
+        "--interval",
+        type=int,
+        default=None,
+        help="trials per checkpoint batch (default ~8 checkpoints/run)",
+    )
+    campaign.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore (and clear) any existing checkpoint",
+    )
+    campaign.add_argument(
+        "--trial-delay",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="sleep per trial (chaos/CI hook: makes mid-run kills easy)",
+    )
 
     trace = sub.add_parser(
         "trace", help="inspect or convert a JSONL trace written by --trace"
@@ -321,6 +378,51 @@ def _cmd_poison(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    import hashlib
+
+    from repro import obs
+    from repro.core.calibration import stability_experiment
+
+    preset = PRESETS[args.preset]
+    seed = args.seed
+
+    def factory():
+        return PhysicalCore(preset(), seed=seed)
+
+    pre_trial = None
+    if args.trial_delay > 0:
+        delay = args.trial_delay
+
+        def pre_trial(_block_seed: int) -> None:
+            time.sleep(delay)
+
+    assessments = stability_experiment(
+        factory,
+        args.address,
+        n_blocks=args.blocks,
+        block_branches=args.branches,
+        repetitions=args.repetitions,
+        workers=args.workers,
+        checkpoint=args.checkpoint,
+        checkpoint_interval=args.interval,
+        resume=not args.fresh,
+        fingerprint_extra={"preset": args.preset, "seed": seed},
+        pre_trial=pre_trial,
+    )
+    stable = sum(1 for a in assessments if a.stable)
+    resumed = obs.resilience_event_counts().get("campaign_resume", 0)
+    if resumed:
+        print(f"resumed: {resumed} trials recovered from checkpoint")
+    print(
+        f"{args.preset}: campaign complete — {len(assessments)} blocks, "
+        f"{stable} stable"
+    )
+    digest = hashlib.sha256(repr(assessments).encode()).hexdigest()
+    print(f"result digest: {digest}")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro import obs
 
@@ -345,14 +447,41 @@ _COMMANDS = {
     "fsm-table": _cmd_fsm_table,
     "pht-size": _cmd_pht_size,
     "poison": _cmd_poison,
+    "campaign": _cmd_campaign,
     "trace": _cmd_trace,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Long-run failure modes map to distinct exit codes so harnesses (and
+    the CI chaos-smoke job) can tell them apart: Ctrl-C returns
+    :data:`EXIT_INTERRUPTED` (checkpointed progress survives — re-run
+    the same command to resume), an unrecoverable or mismatched
+    checkpoint returns :data:`EXIT_CHECKPOINT_CORRUPT`, and a trial
+    chunk that exhausted its supervised retries returns
+    :data:`EXIT_RETRY_EXHAUSTED`.
+    """
+    from repro.parallel import RetryExhaustedError
+    from repro.resilience.checkpoint import CheckpointError
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        print(
+            "repro: interrupted — checkpointed progress is preserved; "
+            "re-run the same command to resume",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
+    except CheckpointError as exc:
+        print(f"repro: checkpoint error: {exc}", file=sys.stderr)
+        return EXIT_CHECKPOINT_CORRUPT
+    except RetryExhaustedError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_RETRY_EXHAUSTED
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -42,7 +42,11 @@ The candidate searches (:func:`find_block`, :func:`stability_experiment`)
 optionally fan independent candidates across a
 :class:`repro.parallel.TrialPool` (``workers=`` kwarg) with per-candidate
 generators spawned via ``np.random.SeedSequence`` from one entropy draw,
-so search outcomes are bit-identical at any worker count.
+so search outcomes are bit-identical at any worker count.  Both accept
+``checkpoint=`` (a path or :class:`repro.resilience.CheckpointStore`):
+progress then persists through crash-safe atomic checkpoints and a
+killed campaign resumes bit-identically (see
+:mod:`repro.resilience.checkpoint` and MODELING.md §10).
 """
 
 from __future__ import annotations
@@ -67,6 +71,11 @@ from repro.cpu.process import Process
 from repro.cpu.timing import TimingModel
 from repro.obs import trace as obs
 from repro.parallel import TrialPool, resolve_workers, spawn_seeds
+from repro.resilience.checkpoint import (
+    CheckpointMismatch,
+    ResumableCampaign,
+    as_store,
+)
 from repro.system.noise import (
     NoiseDraw,
     NoiseModel,
@@ -428,6 +437,8 @@ def find_block(
     workers: Optional[int] = None,
     fast: bool = True,
     with_stats: bool = False,
+    checkpoint=None,
+    resume: bool = True,
 ):
     """Search candidate blocks until one stably yields ``desired_state``.
 
@@ -462,21 +473,31 @@ def find_block(
     and assessments the search consumed and whether (and how often, in
     this process) the batch engine fell back to the scalar path.
 
+    With ``checkpoint`` given (a path or
+    :class:`~repro.resilience.CheckpointStore`), the search becomes
+    crash-safe and resumable: the entropy draw and the index reached are
+    persisted after every wave, so a killed search re-run with the same
+    arguments (``resume=True``) skips already-cleared candidates and
+    returns the identical block.  Checkpointing forces the pooled,
+    trial-plan path even at one worker — candidate outcomes must be pure
+    functions of the candidate index to survive a resume, which the
+    serial rng-chained walk is not.
+
     Raises :class:`CalibrationError` after ``max_candidates`` failures.
     """
     fsm = core.predictor.bimodal.pht.fsm
     assess = assess_block_batch if fast else assess_block
     desired_name = desired_state.value
     n_workers = resolve_workers(workers)
+    pooled = checkpoint is not None or not (
+        workers is None and n_workers == 1
+    )
     # Every pooled assessment carries a plan, so only the mitigation half
     # of the fallback predicate can disable the batch engine there; the
     # serial path (no plan) also falls back on a custom timing model.
     scalar_forced = fast and not (
         batch_scan_supported(core)
-        and (
-            type(core.timing) is TimingModel
-            or not (workers is None and n_workers == 1)
-        )
+        and (type(core.timing) is TimingModel or pooled)
     )
     fallbacks_before = obs.scalar_fallback_counts().get("calibration_batch", 0)
     tracer = obs.TRACER
@@ -514,7 +535,7 @@ def find_block(
             workers=n_workers,
         )
 
-    if workers is None and n_workers == 1:
+    if not pooled:
         assessed = 0
         for count, seed in enumerate(
             range(seed_start, seed_start + max_candidates), start=1
@@ -545,8 +566,50 @@ def find_block(
             f"in {max_candidates} candidates"
         )
 
+    fingerprint = {
+        "experiment": "find_block",
+        "target_address": target_address,
+        "desired_state": desired_state.value,
+        "block_branches": block_branches,
+        "repetitions": repetitions,
+        "max_candidates": max_candidates,
+        "noise": repr(noise),
+        "seed_start": seed_start,
+    }
+    store = as_store(checkpoint) if checkpoint is not None else None
+    state = None
+    if store is not None:
+        if not resume:
+            store.clear()
+        else:
+            state = store.load()
+        if state is not None and state.get("fingerprint") != fingerprint:
+            raise CheckpointMismatch(
+                f"{store.path} holds a different search: "
+                f"{state.get('fingerprint')!r} vs {fingerprint!r}"
+            )
+    # The entropy draw always happens (the caller's stream position must
+    # not depend on whether a checkpoint existed); a resumed search then
+    # overrides it with the checkpointed value so its per-candidate
+    # streams — and therefore its outcome — match the interrupted run's.
     entropy_rng = rng if rng is not None else core.rng
     entropy = int(entropy_rng.integers(np.iinfo(np.int64).max))
+    next_index = 0
+    if state is not None:
+        entropy = state["entropy"]
+        next_index = state["next_index"]
+        if state.get("complete"):
+            winner_seed = state.get("winner_seed")
+            if winner_seed is None:
+                raise CalibrationError(
+                    f"no stable block for {desired_state} at "
+                    f"{target_address:#x} in {max_candidates} candidates "
+                    f"(checkpointed exhaustion)"
+                )
+            block = RandomizationBlock.generate(
+                winner_seed, n_branches=block_branches
+            )
+            return _finish(block.compile(core, spy), max_candidates, None)
     children = spawn_seeds(entropy, max_candidates)
 
     def trial(payload: Tuple[int, np.random.SeedSequence]):
@@ -578,10 +641,41 @@ def find_block(
             return compiled
         return None
 
-    winner = TrialPool(n_workers).find_first(
-        trial,
-        list(zip(range(seed_start, seed_start + max_candidates), children)),
+    pool = TrialPool(n_workers)
+    payloads = list(
+        zip(range(seed_start, seed_start + max_candidates), children)
     )
+    if store is None:
+        winner = pool.find_first(trial, payloads)
+    else:
+        # Same wave walk as find_first, with a checkpoint per wave —
+        # identical winner, but a SIGKILL costs at most one wave.
+        def save(index: int, complete: bool, winner_seed=None) -> None:
+            store.save(
+                {
+                    "fingerprint": fingerprint,
+                    "entropy": entropy,
+                    "next_index": index,
+                    "complete": complete,
+                    "winner_seed": winner_seed,
+                }
+            )
+
+        if state is None:
+            save(0, False)  # pin the entropy before any wave runs
+        wave = n_workers * 4
+        winner = None
+        for start in range(next_index, max_candidates, wave):
+            for result in pool.map(trial, payloads[start:start + wave]):
+                if result is not None:
+                    winner = result
+                    break
+            if winner is not None:
+                save(start, True, winner.block.seed)
+                break
+            save(start + wave, False)
+        if winner is None:
+            save(max_candidates, True)
     if winner is None:
         raise CalibrationError(
             f"no stable block for {desired_state} at {target_address:#x} "
@@ -601,6 +695,12 @@ def stability_experiment(
     seed_start: int = 0,
     workers: Optional[int] = None,
     fast: bool = True,
+    checkpoint=None,
+    checkpoint_interval: Optional[int] = None,
+    resume: bool = True,
+    fingerprint_extra: Optional[Dict[str, object]] = None,
+    pool: Optional[TrialPool] = None,
+    pre_trial: Optional[Callable[[int], None]] = None,
 ) -> List[BlockAssessment]:
     """The Figure 4 experiment: stability scatter over many random blocks.
 
@@ -613,11 +713,30 @@ def stability_experiment(
     :class:`~repro.parallel.TrialPool` and the assessment list is
     bit-identical at any worker count, including the serial ``workers=1``
     loop.  ``fast=False`` forces the scalar assessment engine.
+
+    Because every trial is a pure function of its block seed, the sweep
+    is also trivially resumable: ``checkpoint`` (a path or
+    :class:`~repro.resilience.CheckpointStore`) persists results every
+    ``checkpoint_interval`` trials through
+    :class:`~repro.resilience.ResumableCampaign`, and a killed run
+    re-invoked with the same arguments returns the bit-identical list
+    while re-running only uncheckpointed trials.  ``fingerprint_extra``
+    folds caller-side identity (the core factory's preset and seed,
+    which this function cannot see inside the closure) into the
+    checkpoint fingerprint so a parameter change is a
+    :class:`~repro.resilience.CheckpointMismatch`, not a silent splice.
+    ``pool`` substitutes a caller-built
+    :class:`~repro.parallel.TrialPool` (e.g. one carrying a fault
+    injector or supervision config); ``pre_trial`` runs inside the
+    trial before any work — the chaos harness and the ``repro campaign``
+    CLI use it to slow or fault trials without touching the result.
     """
     spy = Process("stability-spy")
     assess = assess_block_batch if fast else assess_block
 
     def trial(block_seed: int) -> BlockAssessment:
+        if pre_trial is not None:
+            pre_trial(block_seed)
         core = core_factory()
         block = RandomizationBlock.generate(
             block_seed, n_branches=block_branches
@@ -628,6 +747,25 @@ def stability_experiment(
         )
         return assess(core, spy, compiled, target_address, plan=plan)
 
-    return TrialPool(workers).map(
-        trial, list(range(seed_start, seed_start + n_blocks))
+    trial_pool = pool if pool is not None else TrialPool(workers)
+    payloads = list(range(seed_start, seed_start + n_blocks))
+    if checkpoint is None:
+        return trial_pool.map(trial, payloads)
+    fingerprint = {
+        "experiment": "stability_experiment",
+        "target_address": target_address,
+        "n_blocks": n_blocks,
+        "block_branches": block_branches,
+        "repetitions": repetitions,
+        "noise": repr(noise),
+        "seed_start": seed_start,
+    }
+    if fingerprint_extra:
+        fingerprint.update(fingerprint_extra)
+    campaign = ResumableCampaign(
+        checkpoint,
+        fingerprint=fingerprint,
+        interval=checkpoint_interval,
+        resume=resume,
     )
+    return campaign.map(trial_pool, trial, payloads)

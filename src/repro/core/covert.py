@@ -24,6 +24,8 @@ execution is relevant".
 
 from __future__ import annotations
 
+import hashlib
+
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -39,6 +41,7 @@ from repro.cpu.core import PhysicalCore
 from repro.cpu.process import Process
 from repro.obs import trace as obs
 from repro.parallel import TrialPool, spawn_seeds
+from repro.resilience.checkpoint import ResumableCampaign
 from repro.system.scheduler import AttackScheduler, NoiseSetting
 
 __all__ = ["CovertConfig", "CovertChannel", "build_dictionary", "error_rate"]
@@ -335,6 +338,10 @@ class CovertChannel:
         *,
         workers: Optional[object] = None,
         seed: Optional[int] = 0,
+        checkpoint=None,
+        checkpoint_interval: Optional[int] = None,
+        resume: bool = True,
+        pool: Optional[TrialPool] = None,
     ) -> List[List[int]]:
         """Transmit each payload as an independent message trial.
 
@@ -347,6 +354,16 @@ class CovertChannel:
         simulated cycle cost is kept in :attr:`last_sweep_cycles`
         (restoring the clock per message would otherwise hide it from
         throughput accounting).
+
+        Each trial is a pure function of its payload index, so the sweep
+        is resumable: ``checkpoint`` (a path or
+        :class:`~repro.resilience.CheckpointStore`) persists received
+        messages every ``checkpoint_interval`` trials, and a killed
+        sweep re-run with the same payloads and seed returns the
+        bit-identical result while re-transmitting only uncheckpointed
+        messages.  ``pool`` substitutes a caller-built
+        :class:`~repro.parallel.TrialPool` (supervision config, fault
+        injector).
         """
         payloads = [[int(b) for b in payload] for payload in payloads]
         if not payloads:
@@ -371,7 +388,28 @@ class CovertChannel:
                 core.rng = caller_rng
                 scheduler.rng = caller_rng
 
-        outcomes = TrialPool(workers).map(trial, range(len(payloads)))
+        trial_pool = pool if pool is not None else TrialPool(workers)
+        indices = range(len(payloads))
+        if checkpoint is None:
+            outcomes = trial_pool.map(trial, indices)
+        else:
+            payload_digest = hashlib.sha256(
+                repr(payloads).encode()
+            ).hexdigest()
+            campaign = ResumableCampaign(
+                checkpoint,
+                fingerprint={
+                    "experiment": "covert_trial_sweep",
+                    "payloads": payload_digest,
+                    "n_payloads": len(payloads),
+                    "seed": seed,
+                    "branch_address": self.branch_address,
+                    "config": repr(self.config),
+                },
+                interval=checkpoint_interval,
+                resume=resume,
+            )
+            outcomes = campaign.map(trial_pool, trial, indices)
         self.last_sweep_cycles = [cycles for _, cycles in outcomes]
         return [received for received, _ in outcomes]
 

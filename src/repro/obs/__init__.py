@@ -45,8 +45,11 @@ from repro.obs.trace import (
     disable_tracing,
     enable_tracing,
     get_tracer,
+    record_resilience_event,
     record_scalar_fallback,
+    reset_resilience_events,
     reset_scalar_fallbacks,
+    resilience_event_counts,
     scalar_fallback_counts,
     tracing,
 )
@@ -65,8 +68,11 @@ __all__ = [
     "get_tracer",
     "git_revision",
     "read_jsonl",
+    "record_resilience_event",
     "record_scalar_fallback",
+    "reset_resilience_events",
     "reset_scalar_fallbacks",
+    "resilience_event_counts",
     "scalar_fallback_counts",
     "sha256_text",
     "summarize",

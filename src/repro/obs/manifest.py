@@ -29,6 +29,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from repro.ioutil import atomic_write_text
+
 __all__ = ["RunManifest", "git_revision", "sha256_text"]
 
 SCHEMA_VERSION = 1
@@ -147,9 +149,14 @@ class RunManifest:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
 
     def write(self, path) -> Path:
-        """Write the manifest JSON to ``path``; returns the path."""
+        """Atomically write the manifest JSON to ``path``; returns the path.
+
+        Atomic (temp + fsync + rename, :mod:`repro.ioutil`) so a crash
+        mid-write can never leave a torn manifest beside a good result —
+        readers see the old manifest or the new one, nothing between.
+        """
         path = Path(path)
-        path.write_text(self.to_json())
+        atomic_write_text(path, self.to_json())
         return path
 
     @classmethod

@@ -58,6 +58,9 @@ __all__ = [
     "record_scalar_fallback",
     "scalar_fallback_counts",
     "reset_scalar_fallbacks",
+    "record_resilience_event",
+    "resilience_event_counts",
+    "reset_resilience_events",
 ]
 
 #: Event taxonomy (see MODELING.md §9 for what each layer emits).
@@ -72,6 +75,7 @@ CATEGORIES = frozenset(
         "pool",        # TrialPool dispatch and per-chunk latency
         "mitigation",  # a §10 defense hook actually altered something
         "fallback",    # a vectorised engine fell back to the scalar path
+        "resilience",  # fault recovery: retries, degradation, rollbacks
     }
 )
 
@@ -319,3 +323,52 @@ def scalar_fallback_counts() -> Dict[str, int]:
 def reset_scalar_fallbacks() -> None:
     """Zero the cumulative fallback counters (tests/benches)."""
     _SCALAR_FALLBACKS.clear()
+
+
+# -- resilience-event accounting ---------------------------------------------
+#
+# The supervised trial pool and the checkpoint store recover from worker
+# crashes, hangs, corrupted result frames and torn checkpoint files
+# without changing experiment results — which makes the *recovery itself*
+# the only observable.  A campaign silently limping along on retries or
+# serial degradation is a health problem the operator must be able to
+# see, so every recovery action is always counted here (tracing on or
+# off), and additionally emits a warning-level "resilience" trace event
+# plus a labelled metrics counter when observability is enabled.
+
+_RESILIENCE_EVENTS: Dict[str, int] = {}
+
+
+def record_resilience_event(kind: str, detail: str = "", n: int = 1) -> None:
+    """Record ``n`` fault-recovery actions of ``kind``.
+
+    Kinds in use: ``worker_crash``, ``worker_hang``, ``chunk_corrupt``,
+    ``chunk_retry``, ``degrade_serial``, ``checkpoint_rollback``,
+    ``campaign_resume``, ``env_workers_invalid``.
+    """
+    _RESILIENCE_EVENTS[kind] = _RESILIENCE_EVENTS.get(kind, 0) + n
+    tracer = TRACER
+    if tracer is not None:
+        tracer.emit(
+            "resilience",
+            kind,
+            level="warning",
+            detail=detail,
+            count=n,
+        )
+        if tracer.metrics is not None:
+            tracer.metrics.counter(
+                "repro_resilience_events_total",
+                "fault-recovery actions taken by the resilience subsystem",
+                labels=("kind",),
+            ).inc(n, kind=kind)
+
+
+def resilience_event_counts() -> Dict[str, int]:
+    """Cumulative fault-recovery count per kind (copy)."""
+    return dict(_RESILIENCE_EVENTS)
+
+
+def reset_resilience_events() -> None:
+    """Zero the cumulative resilience counters (tests/benches)."""
+    _RESILIENCE_EVENTS.clear()

@@ -1,13 +1,18 @@
 """Parallel trial execution (`repro.parallel`).
 
-A process-pool engine for the embarrassingly-parallel layer of the
-reproduction — candidate-block assessments, covert-channel message
-trials, benchmark sweep cells — with a hard determinism contract:
-per-trial RNGs are derived via ``np.random.SeedSequence.spawn`` from the
-experiment seed, so results are bit-identical at any worker count.
+A supervised process-pool engine for the embarrassingly-parallel layer
+of the reproduction — candidate-block assessments, covert-channel
+message trials, benchmark sweep cells — with a hard determinism
+contract: per-trial RNGs are derived via ``np.random.SeedSequence.spawn``
+from the experiment seed, so results are bit-identical at any worker
+count, and supervised recovery (crash/hang/corruption retries with
+backoff, graceful serial degradation) never changes a result, only when
+and where it was computed.
 """
 
 from repro.parallel.pool import (
+    RetryExhaustedError,
+    SuperviseConfig,
     TrialPool,
     fork_available,
     resolve_workers,
@@ -16,6 +21,8 @@ from repro.parallel.pool import (
 )
 
 __all__ = [
+    "RetryExhaustedError",
+    "SuperviseConfig",
     "TrialPool",
     "fork_available",
     "resolve_workers",

@@ -1,0 +1,44 @@
+"""``repro.resilience`` — fault injection and crash-safe recovery.
+
+Production-scale campaigns (the ROADMAP north star) run for hours across
+many workers; this subsystem makes every failure mode along the way both
+*survivable* and *testable*:
+
+* :mod:`repro.resilience.faults` — a deterministic, seeded
+  fault-injection harness: crash/hang/corrupt a
+  :class:`~repro.parallel.TrialPool` worker, flip bytes in checkpoint
+  files, all as a pure function of a seed so chaos runs are
+  reproducible;
+* :mod:`repro.resilience.checkpoint` — atomic (temp + fsync + rename)
+  SHA-256-verified campaign checkpoints with automatic rollback to the
+  last good generation, and :class:`ResumableCampaign`, the
+  checkpointed ``pool.map`` behind ``--resume`` on the benches and the
+  ``repro campaign`` CLI;
+* the supervised execution layer itself lives in
+  :mod:`repro.parallel.pool` (heartbeat + deadline detection, retry
+  with exponential backoff, graceful serial degradation) — the faults
+  here are its test vectors.
+
+See MODELING.md §10 for the fault taxonomy and determinism guarantees.
+"""
+
+from repro.resilience.checkpoint import (
+    CheckpointCorruption,
+    CheckpointError,
+    CheckpointMismatch,
+    CheckpointStore,
+    ResumableCampaign,
+    rng_state_digest,
+)
+from repro.resilience.faults import FaultInjector, FaultSpec
+
+__all__ = [
+    "CheckpointCorruption",
+    "CheckpointError",
+    "CheckpointMismatch",
+    "CheckpointStore",
+    "FaultInjector",
+    "FaultSpec",
+    "ResumableCampaign",
+    "rng_state_digest",
+]
