@@ -13,12 +13,22 @@ trial-plan engine replaced the scalar per-branch loop.  Candidates fan
 across a ``TrialPool`` when ``REPRO_TRIAL_WORKERS`` is set, with the
 assessment list bit-identical at any worker count.
 
+By default the sweep runs on the single-process manycore backend (the
+struct-of-arrays engine of ``repro.core.manycore``), which assesses the
+whole campaign as stacked array operations and makes the full-scale
+``REPRO_BENCH_SCALE=208`` run tractable without a pool.  Results are
+bit-identical across backends, so checkpoints compose: a run interrupted
+under one backend resumes under the other.  ``REPRO_FIG4_BACKEND=process``
+opts back into the per-trial path, and setting ``REPRO_TRIAL_WORKERS``
+implies it (a pool smoke run should actually exercise the pool).
+
 Progress checkpoints to ``benchmarks/.checkpoints/fig4_stability.ckpt``;
 a killed run re-invoked with ``pytest benchmarks/ --resume`` continues
 where it stopped with a bit-identical assessment list (see
 MODELING.md §10).
 """
 
+import os
 from collections import Counter
 
 from conftest import emit, scaled
@@ -36,7 +46,16 @@ N_BLOCKS = scaled(48)
 N_PROBES = min(scaled(40), 1000)
 
 
-def run_experiment(checkpoint=None, resume=True):
+def default_backend() -> str:
+    explicit = os.environ.get("REPRO_FIG4_BACKEND")
+    if explicit:
+        return explicit
+    # A pool smoke run (REPRO_TRIAL_WORKERS set) should exercise the
+    # pool, not the single-process manycore engine.
+    return "process" if os.environ.get("REPRO_TRIAL_WORKERS") else "manycore"
+
+
+def run_experiment(checkpoint=None, resume=True, backend=None):
     return stability_experiment(
         lambda: PhysicalCore(skylake(), seed=6),
         TARGET,
@@ -47,6 +66,7 @@ def run_experiment(checkpoint=None, resume=True):
         checkpoint=checkpoint,
         resume=resume,
         fingerprint_extra={"preset": "skylake", "core_seed": 6},
+        backend=backend if backend is not None else default_backend(),
     )
 
 

@@ -1,0 +1,134 @@
+"""Perf smoke check: the manycore campaign backend vs per-trial assessment.
+
+The struct-of-arrays backend (``stability_experiment(...,
+backend="manycore")``) is what makes the full-scale Figure 4 sweep
+(10,000 blocks x 1,000 probes) tractable in a single process: instead of
+compiling and assessing each candidate block against its own fresh core,
+it computes the campaign's shared structure once and advances a whole
+chunk of candidates per array operation.  It must stay at least
+``--min-speedup`` times faster than the per-trial path on an identical
+campaign.  Both backends run interleaved, best-of-N, and their
+assessment lists are compared for equality before the timings are
+trusted (the full differential proof lives in ``tests/test_manycore.py``).
+
+Run standalone (CI does, failing the job on gross regression)::
+
+    PYTHONPATH=src python benchmarks/bench_manycore_perf.py
+
+or under pytest alongside the other benches::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_manycore_perf.py
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bpu import skylake  # noqa: E402
+from repro.core.calibration import stability_experiment  # noqa: E402
+from repro.cpu import PhysicalCore  # noqa: E402
+from repro.system.noise import NoiseModel  # noqa: E402
+
+#: Acceptance target: manycore campaign >= 3x the per-trial path
+#: (CI floor 2x).  At full fig4 scale the gap is wider — the shared
+#: structure amortises over far more trials — but the smoke campaign
+#: keeps CI fast.
+TARGET_SPEEDUP = 3.0
+
+TARGET = 0x30_0006D
+N_BLOCKS = 24
+BLOCK_BRANCHES = 20_000
+REPETITIONS = 100
+BEST_OF = 3
+
+
+def _run(backend: str):
+    config = skylake()
+    start = time.perf_counter()
+    assessments = stability_experiment(
+        lambda: PhysicalCore(config, seed=6),
+        TARGET,
+        n_blocks=N_BLOCKS,
+        block_branches=BLOCK_BRANCHES,
+        repetitions=REPETITIONS,
+        noise=NoiseModel.isolated(),
+        backend=backend,
+    )
+    return time.perf_counter() - start, assessments
+
+
+def measure(best_of: int = BEST_OF) -> dict:
+    """Time the manycore backend against the per-trial reference.
+
+    Interleaved best-of-N: machine noise hits both backends alike, so a
+    transient stall cannot manufacture (or destroy) a speedup.
+    """
+    times = {"process": [], "manycore": []}
+    results = {}
+    for _ in range(best_of):
+        for backend in ("process", "manycore"):
+            elapsed, assessments = _run(backend)
+            times[backend].append(elapsed)
+            results[backend] = assessments
+
+    # Differential sanity: same campaign => same assessment list.
+    if results["manycore"] != results["process"]:
+        raise AssertionError("backends disagree — do not trust timings")
+
+    best = {label: min(series) for label, series in times.items()}
+    return {
+        "n_blocks": N_BLOCKS,
+        "repetitions": REPETITIONS,
+        "process_seconds": best["process"],
+        "manycore_seconds": best["manycore"],
+        "speedup": best["process"] / best["manycore"],
+    }
+
+
+def _report(result: dict) -> str:
+    return (
+        f"stability campaign, {result['n_blocks']} blocks @ "
+        f"{BLOCK_BRANCHES} branches x {result['repetitions']} probes, "
+        f"best of {BEST_OF} interleaved\n"
+        f"  per-trial backend:      {result['process_seconds']:.3f}s\n"
+        f"  manycore backend:       {result['manycore_seconds']:.3f}s\n"
+        f"  speedup:                {result['speedup']:.1f}x "
+        f"(target >= {TARGET_SPEEDUP:.0f}x)"
+    )
+
+
+def test_manycore_perf_smoke(benchmark):
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    from conftest import emit
+
+    emit("manycore_perf", _report(result))
+    assert result["speedup"] >= TARGET_SPEEDUP
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--min-speedup", type=float, default=TARGET_SPEEDUP,
+        help="fail if the manycore backend is not this many times faster "
+        "than the per-trial campaign (CI passes 2 to catch gross "
+        "regressions only)",
+    )
+    args = parser.parse_args(argv)
+    result = measure()
+    print(_report(result))
+    if result["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: speedup {result['speedup']:.1f}x below required "
+            f"{args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,9 +35,25 @@ __all__ = [
     "State",
     "FSMSpec",
     "TransitionMonoid",
+    "level_dtype",
     "textbook_2bit_fsm",
     "skylake_fsm",
 ]
+
+
+def level_dtype(n_levels: int) -> np.dtype:
+    """Smallest signed integer dtype that holds levels ``0..n_levels-1``.
+
+    Every array that stores raw FSM levels — the spec's step table, PHT
+    level vectors, transition-monoid maps — must be sized from this, or
+    an FSM with more than 127 levels silently wraps in int8.
+    """
+    if n_levels < 1:
+        raise ValueError("an FSM needs at least one level")
+    for candidate in (np.int8, np.int16, np.int32, np.int64):
+        if n_levels - 1 <= np.iinfo(candidate).max:
+            return np.dtype(candidate)
+    raise ValueError(f"n_levels {n_levels} exceeds any integer dtype")
 
 
 class State(enum.IntEnum):
@@ -94,6 +110,7 @@ class FSMSpec:
 
     def __post_init__(self) -> None:
         n = self.n_levels
+        dtype = level_dtype(n)  # validates n >= 1, widens past 127 levels
         if not (
             len(self.predict_taken)
             == len(self.next_on_taken)
@@ -108,7 +125,7 @@ class FSMSpec:
         predict = np.array(self.predict_taken, dtype=bool)
         # step[outcome, level]: outcome 0 = not-taken, 1 = taken.
         step = np.array(
-            [self.next_on_not_taken, self.next_on_taken], dtype=np.int8
+            [self.next_on_not_taken, self.next_on_taken], dtype=dtype
         )
         public = np.array([int(s) for s in self.to_public], dtype=np.int8)
         for arr in (predict, step, public):
@@ -174,7 +191,7 @@ class FSMSpec:
         ``taken`` may be a scalar bool or a boolean array broadcastable to
         ``levels``.
         """
-        outcome = np.asarray(taken, dtype=np.int8)
+        outcome = np.asarray(taken, dtype=np.int64)
         return self._step_arr[outcome, levels]
 
     def public_array(self, levels: np.ndarray) -> np.ndarray:
@@ -260,7 +277,7 @@ class TransitionMonoid:
         ``O(N log N)`` vectorised table lookups.
         """
         table = np.tile(
-            np.arange(self.n_levels, dtype=np.int8), (int(n_entries), 1)
+            np.arange(self.n_levels, dtype=self.maps.dtype), (int(n_entries), 1)
         )
         indices = np.asarray(indices, dtype=np.int64)
         n = indices.size
@@ -319,7 +336,7 @@ def _transition_monoid(spec: FSMSpec) -> TransitionMonoid:
                 f"{_MONOID_SIZE_LIMIT} maps"
             )
         frontier = fresh
-    maps = np.array(order, dtype=np.int8)
+    maps = np.array(order, dtype=level_dtype(n))
     outcome_ids = np.array([ids[g] for g in generators], dtype=np.int64)
     size = len(order)
     compose_table = np.empty((size, size), dtype=np.int16)

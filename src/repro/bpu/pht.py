@@ -23,7 +23,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.bpu.fsm import FSMSpec, State
+from repro.bpu.fsm import FSMSpec, State, level_dtype
 from repro.snapshot import DeltaSnapshot, WriteJournal
 
 __all__ = ["PatternHistoryTable"]
@@ -56,12 +56,16 @@ class PatternHistoryTable:
         self.fsm = fsm
         self.n_entries = int(n_entries)
         self._initial_level = fsm.level_for(initial_state)
-        self._levels = np.full(self.n_entries, self._initial_level, dtype=np.int8)
+        # Sized from n_levels: an FSM with > 127 levels must not wrap int8.
+        self._levels = np.full(
+            self.n_entries, self._initial_level, dtype=level_dtype(fsm.n_levels)
+        )
         self._journal = WriteJournal(cap=max(256, self.n_entries // 8), name="pht")
 
     @property
     def levels(self) -> np.ndarray:
-        """The raw level vector (int8).  In-place scalar writes should go
+        """The raw level vector (dtype from the FSM's level count).  In-place
+        scalar writes should go
         through :meth:`update`/:meth:`set_level`; vectorised writers must
         call :meth:`record_touch` first.  Assigning a whole new array
         invalidates outstanding delta snapshots."""
@@ -147,8 +151,8 @@ class PatternHistoryTable:
         source).
         """
         self.levels = rng.integers(
-            0, self.fsm.n_levels, size=self.n_entries, dtype=np.int8
-        )
+            0, self.fsm.n_levels, size=self.n_entries
+        ).astype(self._levels.dtype)
 
     def reset(self) -> None:
         """Return every entry to the configured initial state."""

@@ -58,7 +58,15 @@ class SelectorTable:
             )
         self.n_entries = int(n_entries)
         self._initial = int(initial_counter)
-        self.counters = np.full(self.n_entries, self._initial, dtype=np.int8)
+        # Sized from counter_bits: >= 8-bit choice counters must not wrap.
+        dtype = np.int8
+        for candidate in (np.int8, np.int16, np.int32, np.int64):
+            dtype = candidate
+            if self.max_counter <= np.iinfo(candidate).max:
+                break
+        else:
+            raise ValueError(f"counter_bits {counter_bits} too large")
+        self.counters = np.full(self.n_entries, self._initial, dtype=dtype)
         self._journal = WriteJournal(cap=max(256, self.n_entries // 8), name="selector")
 
     def record_touch(self, indices: np.ndarray) -> None:

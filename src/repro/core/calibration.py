@@ -439,6 +439,7 @@ def find_block(
     with_stats: bool = False,
     checkpoint=None,
     resume: bool = True,
+    backend: str = "process",
 ):
     """Search candidate blocks until one stably yields ``desired_state``.
 
@@ -483,14 +484,24 @@ def find_block(
     functions of the candidate index to survive a resume, which the
     serial rng-chained walk is not.
 
+    ``backend="manycore"`` forces the pooled path and pre-screens
+    candidates through :class:`~repro.core.manycore.ManycoreFindPool` —
+    the pin check runs once, cheaply, before a trial is dispatched, and
+    rejected candidates consume no shared state, so the winner is
+    bit-identical to the pooled search at the same worker count.
+
     Raises :class:`CalibrationError` after ``max_candidates`` failures.
     """
+    if backend not in ("process", "manycore"):
+        raise ValueError(f"unknown backend {backend!r}")
     fsm = core.predictor.bimodal.pht.fsm
     assess = assess_block_batch if fast else assess_block
     desired_name = desired_state.value
     n_workers = resolve_workers(workers)
-    pooled = checkpoint is not None or not (
-        workers is None and n_workers == 1
+    pooled = (
+        backend == "manycore"
+        or checkpoint is not None
+        or not (workers is None and n_workers == 1)
     )
     # Every pooled assessment carries a plan, so only the mitigation half
     # of the fallback predicate can disable the batch engine there; the
@@ -642,6 +653,16 @@ def find_block(
         return None
 
     pool = TrialPool(n_workers)
+    if backend == "manycore":
+        from repro.core.manycore import ManycoreFindPool
+
+        pool = ManycoreFindPool(
+            pool,
+            core,
+            target_address,
+            desired_state,
+            block_branches=block_branches,
+        )
     payloads = list(
         zip(range(seed_start, seed_start + max_candidates), children)
     )
@@ -701,6 +722,7 @@ def stability_experiment(
     fingerprint_extra: Optional[Dict[str, object]] = None,
     pool: Optional[TrialPool] = None,
     pre_trial: Optional[Callable[[int], None]] = None,
+    backend: str = "process",
 ) -> List[BlockAssessment]:
     """The Figure 4 experiment: stability scatter over many random blocks.
 
@@ -730,7 +752,29 @@ def stability_experiment(
     injector or supervision config); ``pre_trial`` runs inside the
     trial before any work — the chaos harness and the ``repro campaign``
     CLI use it to slow or fault trials without touching the result.
+
+    ``backend`` selects how trials execute: ``"process"`` (default) runs
+    the per-trial closure, serially or pooled; ``"manycore"`` routes
+    trials through the struct-of-arrays shared-structure engine
+    (:class:`~repro.core.manycore.ManycoreCampaignPool`), which stacks
+    many trials into single array operations — bit-identical results,
+    single-process, and it ignores ``workers``.  Unsupported
+    configurations (mitigations, zero-width noise gaps, a
+    nondeterministic factory) degrade per payload to the scalar trial,
+    counted under the ``"manycore"`` scalar-fallback key.  Checkpoints
+    are backend-agnostic: a campaign interrupted under one backend
+    resumes under the other.
     """
+    if backend not in ("process", "manycore"):
+        raise ValueError(f"unknown backend {backend!r}")
+    if backend == "manycore":
+        if pool is not None:
+            raise ValueError("backend='manycore' already supplies the pool")
+        if not fast:
+            raise ValueError(
+                "backend='manycore' is a vectorised engine; use fast=True "
+                "or backend='process' for the scalar engine"
+            )
     spy = Process("stability-spy")
     assess = assess_block_batch if fast else assess_block
 
@@ -747,7 +791,19 @@ def stability_experiment(
         )
         return assess(core, spy, compiled, target_address, plan=plan)
 
-    trial_pool = pool if pool is not None else TrialPool(workers)
+    if backend == "manycore":
+        from repro.core.manycore import ManycoreCampaignPool
+
+        trial_pool = ManycoreCampaignPool(
+            core_factory,
+            target_address,
+            block_branches=block_branches,
+            repetitions=repetitions,
+            noise=noise,
+            pre_trial=pre_trial,
+        )
+    else:
+        trial_pool = pool if pool is not None else TrialPool(workers)
     payloads = list(range(seed_start, seed_start + n_blocks))
     if checkpoint is None:
         return trial_pool.map(trial, payloads)

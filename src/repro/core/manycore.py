@@ -1,0 +1,1070 @@
+"""Many-core struct-of-arrays backend for Monte Carlo campaigns.
+
+The Figure 4 stability experiment assesses thousands of *independent*
+candidate blocks, each against a fresh, identically-seeded core.  The
+per-trial engines (:func:`~repro.core.calibration.assess_block_batch`)
+already vectorise *within* one trial; this module vectorises *across*
+trials by stacking N cores' state and per-trial quantities into
+``(N, ...)`` numpy arrays — a struct-of-arrays ("manycore") layout — and
+advancing the whole campaign with single array operations.
+
+Two layers:
+
+* :class:`ManycoreState` — the general SoA container: PHT levels,
+  selector counters, GHR values, identification/BTB tags, per-instance
+  clocks and mispredict counters stacked into ``(N, table_size)``
+  arrays, with per-instance RNG streams spawned via
+  ``np.random.SeedSequence`` exactly like
+  :func:`repro.parallel.spawn_seeds`.  :meth:`ManycoreState.
+  apply_compiled` is the vectorised counterpart of
+  :meth:`~repro.core.randomizer.CompiledBlock.apply`, pinned
+  element-for-element against the scalar path in
+  ``tests/test_manycore.py``.
+
+* :class:`ManycoreCampaignPool` — the stability-experiment fast path.
+  Because every trial builds its core from the same deterministic
+  factory, draws its :class:`~repro.core.calibration.TrialPlan` from
+  that fresh core's own generator, and runs the unmitigated closed-form
+  front-end, *everything except the candidate block itself is identical
+  across trials*: the plan, the per-repetition noise aggregates, the
+  PHT indices of every slot, the tracked-entry set, and the entire
+  node schedule of the batch engine's phase 2.  The pool therefore
+  computes that structure once and reduces each trial to a small
+  *block summary* — per-tracked-entry ids in the FSM's
+  :class:`~repro.bpu.fsm.TransitionMonoid` — evolved for a whole chunk
+  of instances at a time as ``(chunk, n_nodes)`` table lookups.  The
+  result is bit-identical to running the scalar/batch trial per block
+  (same :class:`~repro.core.calibration.BlockAssessment` list, same
+  factory-RNG stream position), which the differential suite pins.
+
+Exactness boundary (mirrors the batch engine's, plus the shared-plan
+requirement): any installed mitigation, a noise model that can produce
+an empty gap (the closed-form GHR then depends on the block's
+``ghr_end``), a nondeterministic core factory, or distinct
+bimodal/gshare FSM instances all route the affected trials to the
+caller-supplied scalar trial function, counted via
+:func:`repro.obs.trace.record_scalar_fallback` under engine
+``"manycore"`` — graceful and exact, never silent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.batch_probe import batch_scan_supported
+from repro.core.calibration import (
+    BlockAssessment,
+    TrialPlan,
+    draw_trial_plan,
+)
+from repro.core.calibration_batch import _closed_form
+from repro.core.randomizer import CompiledBlock, RandomizationBlock
+from repro.cpu.core import PhysicalCore
+from repro.cpu.process import Process
+from repro.obs import trace as obs
+from repro.parallel import spawn_rngs
+from repro.resilience.checkpoint import rng_state_digest
+from repro.system.noise import NoiseModel
+
+__all__ = [
+    "ManycoreState",
+    "ManycoreCampaignPool",
+    "ManycoreFindPool",
+    "manycore_supported",
+]
+
+#: Probe-pattern strings by code ``miss_first * 2 + miss_second``; the
+#: order is lexicographic, which is what lets the dominant-pattern
+#: tie-break (max over ``(count, pattern)``) reduce to an argmax over
+#: ``count * 4 + code``.
+_PATTERNS = ("HH", "HM", "MH", "MM")
+
+#: Instances assessed per vectorised chunk.  Bounds peak memory (the
+#: phase-2 id arrays are ``(chunk, n_nodes)`` int64) while amortising
+#: the per-chunk gather setup.
+DEFAULT_CHUNK = 64
+
+
+def _fast_mod(values: np.ndarray, n: int) -> np.ndarray:
+    """``values % n``, as a mask when ``n`` is a power of two.
+
+    The per-block summary reduces ~1e5 addresses per table; for the
+    power-of-two table sizes every preset uses, the bitwise AND is
+    several times cheaper than the integer modulo and exact for the
+    non-negative addresses the generator produces.
+    """
+    if n & (n - 1) == 0:
+        return values & (n - 1)
+    return values % n
+
+
+# ---------------------------------------------------------------------------
+# ManycoreState: the general struct-of-arrays container
+# ---------------------------------------------------------------------------
+
+
+class ManycoreState:
+    """N independent cores' microarchitectural state, stacked.
+
+    Row ``i`` of every array is instance ``i``'s state; the scalar
+    equivalents live on :class:`~repro.cpu.core.PhysicalCore` and its
+    components.  Only the state the randomisation/assessment pipeline
+    touches is stacked (PHT levels, selector, GHR, identification and
+    target buffers, clock, one process's counters) — instances needing
+    full core semantics should materialise a :class:`PhysicalCore`.
+    """
+
+    def __init__(
+        self,
+        config,
+        n: int,
+        *,
+        bimodal_levels: np.ndarray,
+        gshare_levels: np.ndarray,
+        selector_counters: np.ndarray,
+        ghr_values: np.ndarray,
+        bit_valid: np.ndarray,
+        bit_tags: np.ndarray,
+        btb_valid: np.ndarray,
+        btb_tags: np.ndarray,
+        btb_targets: np.ndarray,
+        clock: np.ndarray,
+        branches: np.ndarray,
+        mispredictions: np.ndarray,
+        cycles: np.ndarray,
+        rngs: List[np.random.Generator],
+    ) -> None:
+        self.config = config
+        self.n = int(n)
+        self.bimodal_levels = bimodal_levels
+        self.gshare_levels = gshare_levels
+        self.selector_counters = selector_counters
+        self.ghr_values = ghr_values
+        self.bit_valid = bit_valid
+        self.bit_tags = bit_tags
+        self.btb_valid = btb_valid
+        self.btb_tags = btb_tags
+        self.btb_targets = btb_targets
+        self.clock = clock
+        self.branches = branches
+        self.mispredictions = mispredictions
+        self.cycles = cycles
+        self.rngs = rngs
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_factory(
+        cls,
+        core_factory: Callable[[], PhysicalCore],
+        n: int,
+        *,
+        seed: Optional[int] = None,
+    ) -> "ManycoreState":
+        """Broadcast one factory-built core into ``n`` stacked instances.
+
+        Per-instance RNG streams are spawned from ``seed`` with the same
+        ``SeedSequence.spawn`` discipline as
+        :func:`repro.parallel.spawn_seeds`, so a manycore campaign and a
+        pooled per-trial campaign derive identical independent streams
+        from the same experiment seed.
+        """
+        template = core_factory()
+        predictor = template.predictor
+
+        def stack(arr: np.ndarray) -> np.ndarray:
+            return np.repeat(np.asarray(arr)[None, ...], n, axis=0).copy()
+
+        return cls(
+            template.config,
+            n,
+            bimodal_levels=stack(predictor.bimodal.pht.levels),
+            gshare_levels=stack(predictor.gshare.pht.levels),
+            selector_counters=stack(predictor.selector.counters),
+            ghr_values=np.full(n, int(predictor.ghr.value), dtype=np.int64),
+            bit_valid=stack(predictor.bit.valid),
+            bit_tags=stack(predictor.bit.tags),
+            btb_valid=stack(predictor.btb.valid),
+            btb_tags=stack(predictor.btb.tags),
+            btb_targets=stack(predictor.btb.targets),
+            clock=np.full(n, int(template.clock.now), dtype=np.int64),
+            branches=np.zeros(n, dtype=np.int64),
+            mispredictions=np.zeros(n, dtype=np.int64),
+            cycles=np.zeros(n, dtype=np.int64),
+            rngs=spawn_rngs(seed, n),
+        )
+
+    @classmethod
+    def from_cores(
+        cls,
+        cores: Sequence[PhysicalCore],
+        *,
+        process: Optional[Process] = None,
+    ) -> "ManycoreState":
+        """Stack existing cores (all of one configuration) row by row.
+
+        ``process`` selects whose counter file the per-instance counter
+        columns mirror (zeros when omitted).  The cores' own generators
+        are carried by reference — the stacked state and the cores share
+        streams, exactly as a scalar campaign over those cores would.
+        """
+        if not cores:
+            raise ValueError("from_cores needs at least one core")
+        name = cores[0].config.name
+        for core in cores:
+            if core.config.name != name:
+                raise ValueError(
+                    f"mixed configurations: {core.config.name!r} vs {name!r}"
+                )
+        from repro.cpu.counters import CounterKind
+
+        def counter(core: PhysicalCore, kind) -> int:
+            if process is None:
+                return 0
+            return int(core.counters_for(process).read(kind))
+
+        predictors = [core.predictor for core in cores]
+        return cls(
+            cores[0].config,
+            len(cores),
+            bimodal_levels=np.stack(
+                [p.bimodal.pht.levels.copy() for p in predictors]
+            ),
+            gshare_levels=np.stack(
+                [p.gshare.pht.levels.copy() for p in predictors]
+            ),
+            selector_counters=np.stack(
+                [p.selector.counters.copy() for p in predictors]
+            ),
+            ghr_values=np.array(
+                [int(p.ghr.value) for p in predictors], dtype=np.int64
+            ),
+            bit_valid=np.stack([p.bit.valid.copy() for p in predictors]),
+            bit_tags=np.stack([p.bit.tags.copy() for p in predictors]),
+            btb_valid=np.stack([p.btb.valid.copy() for p in predictors]),
+            btb_tags=np.stack([p.btb.tags.copy() for p in predictors]),
+            btb_targets=np.stack([p.btb.targets.copy() for p in predictors]),
+            clock=np.array(
+                [int(core.clock.now) for core in cores], dtype=np.int64
+            ),
+            branches=np.array(
+                [counter(core, CounterKind.BRANCHES) for core in cores],
+                dtype=np.int64,
+            ),
+            mispredictions=np.array(
+                [counter(core, CounterKind.BRANCH_MISSES) for core in cores],
+                dtype=np.int64,
+            ),
+            cycles=np.array(
+                [counter(core, CounterKind.CYCLES) for core in cores],
+                dtype=np.int64,
+            ),
+            rngs=[core.rng for core in cores],
+        )
+
+    # -- vectorised operations ---------------------------------------------
+
+    def apply_compiled(self, compiled) -> None:
+        """Apply compiled block(s) to every instance — the SoA
+        counterpart of :meth:`~repro.core.randomizer.CompiledBlock.apply`.
+
+        ``compiled`` is either one :class:`CompiledBlock` (broadcast to
+        all instances) or a sequence of ``n`` per-instance blocks.  The
+        dense PHT rewrites run as whole-stack gathers; the ragged
+        per-block writes (selector resets, identification-table
+        insertions) loop per instance — they are tiny next to the PHT
+        work and their in-order fancy assignment reproduces the scalar
+        last-write-wins semantics exactly.
+        """
+        if isinstance(compiled, CompiledBlock):
+            blocks: List[CompiledBlock] = [compiled] * self.n
+        else:
+            blocks = list(compiled)
+            if len(blocks) != self.n:
+                raise ValueError(
+                    f"{len(blocks)} compiled blocks for {self.n} instances"
+                )
+        for cb in blocks:
+            if cb.config_name != self.config.name:
+                raise ValueError(
+                    "compiled block bound to config "
+                    f"{cb.config_name!r}, state is {self.config.name!r}"
+                )
+
+        rows = np.arange(self.n)
+        n_b = self.bimodal_levels.shape[1]
+        n_g = self.gshare_levels.shape[1]
+        if all(cb is blocks[0] for cb in blocks):
+            self.bimodal_levels = blocks[0].bimodal_map[
+                np.arange(n_b)[None, :], self.bimodal_levels
+            ]
+            self.gshare_levels = blocks[0].gshare_map[
+                np.arange(n_g)[None, :], self.gshare_levels
+            ]
+        else:
+            bimodal_maps = np.stack([cb.bimodal_map for cb in blocks])
+            gshare_maps = np.stack([cb.gshare_map for cb in blocks])
+            self.bimodal_levels = bimodal_maps[
+                rows[:, None], np.arange(n_b)[None, :], self.bimodal_levels
+            ]
+            self.gshare_levels = gshare_maps[
+                rows[:, None], np.arange(n_g)[None, :], self.gshare_levels
+            ]
+
+        ghr_mask = (1 << self.config.ghr_bits) - 1
+        sel_initial = self.config.selector_initial
+        for i, cb in enumerate(blocks):
+            self.selector_counters[i, cb.selector_touched] = sel_initial
+            self.bit_valid[i, cb.bit_sets] = True
+            self.bit_tags[i, cb.bit_sets] = cb.bit_tags
+            self.ghr_values[i] = cb.ghr_end & ghr_mask
+            self.clock[i] += cb.cycles
+            self.branches[i] += len(cb.block)
+            self.mispredictions[i] += cb.mispredictions
+            self.cycles[i] += cb.cycles
+
+    def rng_digests(self) -> List[str]:
+        """Canonical stream-position digest of every instance's RNG."""
+        return [rng_state_digest(rng) for rng in self.rngs]
+
+
+# ---------------------------------------------------------------------------
+# Shared-structure campaign engine
+# ---------------------------------------------------------------------------
+
+
+def _fold_tracked_ids(
+    monoid,
+    positions: np.ndarray,
+    outcomes: np.ndarray,
+    n_tracked: int,
+) -> np.ndarray:
+    """Per-tracked-entry monoid id of one block's outcome fold.
+
+    ``positions[i]`` is the tracked-entry position branch ``i`` hits (in
+    program order, already filtered to tracked entries); the result maps
+    each tracked position to the id of its composed transition map
+    (identity for untouched positions).  Same segmented Hillis-Steele
+    scan as :meth:`~repro.bpu.fsm.TransitionMonoid.fold_table`, but the
+    sort runs on small position integers — a radix sort for the int16
+    common case, which is what keeps the per-block summary cheap.
+    """
+    ids = np.full(n_tracked, monoid.IDENTITY, dtype=np.int64)
+    n = len(positions)
+    if n == 0:
+        return ids
+    if n_tracked <= np.iinfo(np.int16).max:
+        sort_key = positions.astype(np.int16)
+    else:
+        sort_key = positions
+    order = np.argsort(sort_key, kind="stable")
+    seg = positions[order]
+    vals = monoid.outcome_id_sequence(outcomes)[order].astype(np.int64)
+    # Sparse segmented Hillis-Steele: same recurrence as fold_table, but
+    # only the positions whose stride-neighbour shares their segment are
+    # touched (segments are short, so late strides update almost
+    # nothing), and once a stride exceeds the longest segment no larger
+    # stride can match either.
+    offset = 1
+    while offset < n:
+        same = np.nonzero(seg[offset:] == seg[:-offset])[0] + offset
+        if not len(same):
+            break
+        vals[same] = monoid.compose_table[vals[same - offset], vals[same]]
+        offset *= 2
+    last = np.empty(n, dtype=bool)
+    last[-1] = True
+    last[:-1] = seg[1:] != seg[:-1]
+    ids[seg[last]] = vals[last]
+    return ids
+
+
+class _NodePlan:
+    """The instance-independent half of phase 2, for one PHT.
+
+    Mirrors :func:`repro.core.calibration_batch._read_levels` up to the
+    point where the per-entry transition maps enter, then stores the
+    node schedule so :meth:`read_levels` can replay the binary lifting,
+    step transfer and segmented scan for a whole chunk of instances in
+    monoid *id space*: each ``(node, instance)`` cell is a small integer
+    id and every composition is one flat ``compose_table`` gather.  The
+    id-space run is exactly the level-space run with the per-node level
+    row replaced by its id — composition orders are identical, which the
+    differential suite pins end to end.
+
+    Preconditions (checked by the caller): no mitigations (every slot
+    executes) and a single FSM shared by both PHTs (noise and execute
+    steps then use the same transition table, so a node's step id
+    depends only on its outcome).
+    """
+
+    def __init__(
+        self,
+        monoid,
+        initial_levels: np.ndarray,
+        idx: np.ndarray,
+        outcomes: np.ndarray,
+        noise_idx: np.ndarray,
+        noise_out: np.ndarray,
+        noise_epoch: np.ndarray,
+        d: int,
+        n_entries: int,
+    ) -> None:
+        R2, n_slots = idx.shape
+        self.shape = (R2, n_slots)
+        self.monoid = monoid
+        size = len(monoid.maps)
+        self._ct_flat = monoid.compose_table.astype(np.int64).ravel()
+        self._ct_size = size
+        self._maps_flat = monoid.maps.astype(np.int64).ravel()
+        self._n_levels = monoid.n_levels
+
+        tracked = np.unique(idx)
+        self.n_tracked = len(tracked)
+        pos_table = np.full(n_entries, -1, dtype=np.int64)
+        pos_table[tracked] = np.arange(self.n_tracked)
+        self.pos_table = pos_table
+        positions = pos_table[idx]
+
+        # Read nodes: every slot of every repetition executes.
+        slot_flat = np.arange(R2 * n_slots)
+        read_pos = positions.ravel()
+        read_r = slot_flat // n_slots
+        read_time = read_r + ((slot_flat - read_r * n_slots) >= d)
+        read_out = outcomes.ravel().astype(np.int64)
+        n_reads = R2 * n_slots
+
+        # Noise-hit nodes, pruned to each entry's last read.
+        last_read = np.zeros(self.n_tracked, dtype=np.int64)
+        np.maximum.at(last_read, read_pos, read_time)
+        if len(noise_idx):
+            npos = pos_table[noise_idx]
+            hit = npos >= 0
+            hit_pos = npos[hit]
+            hit_time = noise_epoch[hit] + 1
+            observable = hit_time <= last_read[hit_pos]
+            hit_pos = hit_pos[observable]
+            hit_time = hit_time[observable]
+            hit_out = noise_out[hit][observable].astype(np.int64)
+        else:
+            hit_pos = hit_time = hit_out = np.empty(0, dtype=np.int64)
+        n_hits = len(hit_pos)
+
+        node_p = np.concatenate([read_pos, hit_pos])
+        node_t = np.concatenate([read_time, hit_time])
+        node_read = np.concatenate(
+            [np.ones(n_reads, dtype=np.int64), np.zeros(n_hits, dtype=np.int64)]
+        )
+        node_out = np.concatenate([read_out, hit_out])
+        node_seq = np.concatenate([np.arange(n_reads), np.arange(n_hits)])
+        node_slot = np.concatenate(
+            [slot_flat, np.zeros(n_hits, dtype=np.int64)]
+        )
+        order = np.lexsort((node_seq, node_read, node_t, node_p))
+        p_sorted = node_p[order]
+        t_sorted = node_t[order]
+        self.n_nodes = len(order)
+
+        first = np.ones(self.n_nodes, dtype=bool)
+        first[1:] = p_sorted[1:] != p_sorted[:-1]
+        prev_t = np.empty_like(t_sorted)
+        prev_t[0] = 0
+        prev_t[1:] = t_sorted[:-1]
+        prev_t[first] = 0
+        remaining = t_sorted - prev_t
+
+        # Between consecutive nodes at one entry the block fold applies
+        # once per crossed epoch, so each node's jump is (block fold)^k
+        # with k = remaining[node].  The batch engine binary-lifts this
+        # per trial; here the monoid is tiny, so a dense power table
+        # ``POW[element, k]`` turns the whole lifting pass into one flat
+        # gather per chunk.
+        k_max = int(remaining.max()) if self.n_nodes else 0
+        pow_table = np.empty((size, k_max + 1), dtype=np.int64)
+        pow_table[:, 0] = monoid.IDENTITY
+        elements = np.arange(size)
+        for k in range(1, k_max + 1):
+            pow_table[:, k] = monoid.compose_table[pow_table[:, k - 1], elements]
+        self._pow_flat = pow_table.ravel()
+        self._pow_k = k_max + 1
+        self.p_sorted = p_sorted
+        self.remaining = remaining
+
+        # Segmented-scan schedule: update positions per doubling stride.
+        self.scan_schedule: List[np.ndarray] = []
+        stride = 1
+        while stride < self.n_nodes:
+            valid = p_sorted[stride:] == p_sorted[:-stride]
+            if not valid.any():
+                break
+            self.scan_schedule.append(np.nonzero(valid)[0] + stride)
+            stride <<= 1
+        self._strides = [1 << k for k in range(len(self.scan_schedule))]
+
+        self.step_ids = monoid.outcome_ids[node_out[order]].astype(np.int64)
+        self.v0_nodes = initial_levels[tracked].astype(np.int64)[p_sorted]
+        self.first = first
+        reads = node_read[order] == 1
+        self.read_positions = np.nonzero(reads)[0]
+        self.read_slots = node_slot[order][reads]
+
+    def read_levels(self, lift0: np.ndarray) -> np.ndarray:
+        """Read-before-write levels for a chunk of instances.
+
+        ``lift0`` is ``(chunk, n_tracked)`` monoid ids — each instance's
+        block fold per tracked entry; the result is
+        ``(chunk, R2, n_slots)`` levels, matching ``_read_levels`` row
+        for row.
+        """
+        chunk = lift0.shape[0]
+        ct = self._ct_flat
+        size = self._ct_size
+        jump = self._pow_flat[
+            lift0[:, self.p_sorted] * self._pow_k + self.remaining[None, :]
+        ]
+        transfer = ct[jump * size + self.step_ids[None, :]]
+        for stride, upd in zip(self._strides, self.scan_schedule):
+            transfer[:, upd] = ct[
+                transfer[:, upd - stride] * size + transfer[:, upd]
+            ]
+        maps = self._maps_flat
+        n_levels = self._n_levels
+        after = maps[transfer * n_levels + self.v0_nodes[None, :]]
+        before = np.empty_like(after)
+        before[:, 0] = 0
+        before[:, 1:] = after[:, :-1]
+        incoming = np.where(self.first[None, :], self.v0_nodes[None, :], before)
+        values = maps[jump * n_levels + incoming]
+        R2, n_slots = self.shape
+        read_flat = np.zeros((chunk, R2 * n_slots), dtype=np.int64)
+        read_flat[:, self.read_slots] = values[:, self.read_positions]
+        return read_flat.reshape(chunk, R2, n_slots)
+
+
+class _SharedStructure:
+    """Everything a stability campaign shares across its trials."""
+
+    def __init__(
+        self,
+        template: PhysicalCore,
+        target_address: int,
+        plan: TrialPlan,
+        rng_digest: str,
+        block_branches: int,
+    ) -> None:
+        predictor = template.predictor
+        bimodal = predictor.bimodal.pht
+        gshare = predictor.gshare.pht
+        fsm = bimodal.fsm
+        sel = predictor.selector
+        bit = predictor.bit
+        T = int(target_address)
+        R = plan.repetitions
+        R2 = 2 * R
+
+        self.plan = plan
+        self.rng_digest = rng_digest
+        self.block_branches = int(block_branches)
+        self.fsm = fsm
+        self.monoid = fsm.transition_monoid()
+        self.d = fsm.n_levels
+        self.R = R
+        self.R2 = R2
+        self.n_b = bimodal.n_entries
+        self.n_g = gshare.n_entries
+        self.ghr_len = predictor.ghr.length
+        self.target = T
+        self.tb = predictor.bimodal.index(T, 0, None)
+        self.n_sel = sel.n_entries
+        self.tsel = T % sel.n_entries
+        self.n_sets = bit.n_sets
+        self.tag_mask = bit._tag_mask
+        self.tset = T % bit.n_sets
+        self.ttag = (T // bit.n_sets) & bit._tag_mask
+        self.sel_initial = sel._initial
+        self.sel_max = sel.max_counter
+        self.sel_threshold = sel.gshare_threshold
+        self.sel_val0 = int(sel.counters[self.tsel])
+        self.bit_valid0 = bool(bit.valid[self.tset])
+        self.bit_tag0 = int(bit.tags[self.tset])
+
+        # Phase 1 (closed form) — identical for every trial.  ghr_end is
+        # only consumed by repetitions with an empty noise gap, which the
+        # support predicate excludes, so a placeholder is exact here.
+        static, outcomes, b_idx, g_idx, offsets, bulk = _closed_form(
+            self.plan, T, R, self.n_b, self.n_g,
+            int(predictor.ghr.value), 0, self.ghr_len,
+        )
+        self.outcomes = outcomes
+        gaps = offsets[1:] - offsets[:-1]
+        total = int(offsets[-1])
+        epoch_of = np.repeat(np.arange(R2), gaps)
+
+        # Per-repetition noise aggregates (mirrors batch_assess).
+        drift = np.zeros(R2, dtype=np.int64)
+        on_tsel = bulk.addresses % self.n_sel == self.tsel
+        if on_tsel.any():
+            np.add.at(drift, epoch_of[on_tsel], bulk.nudges[on_tsel])
+        self.drift_tsel = drift
+        noise_tag = np.full(R2, -1, dtype=np.int64)
+        on_tset = bulk.addresses % self.n_sets == self.tset
+        if on_tset.any():
+            last = np.full(R2, -1, dtype=np.int64)
+            np.maximum.at(last, epoch_of[on_tset], np.nonzero(on_tset)[0])
+            rows = last >= 0
+            noise_tag[rows] = (
+                bulk.addresses[last[rows]] // self.n_sets
+            ) & self.tag_mask
+        self.noise_tag = noise_tag
+
+        # Phase-2 node plans (one per PHT).
+        noise_epoch = epoch_of if total else np.empty(0, dtype=np.int64)
+        self.plan_b = _NodePlan(
+            self.monoid,
+            bimodal.levels,
+            b_idx,
+            outcomes,
+            bulk.addresses % self.n_b if total else np.empty(0, dtype=np.int64),
+            bulk.outcomes,
+            noise_epoch,
+            self.d,
+            self.n_b,
+        )
+        self.plan_g = _NodePlan(
+            self.monoid,
+            gshare.levels,
+            g_idx,
+            outcomes,
+            bulk.gshare_indices,
+            bulk.outcomes,
+            noise_epoch,
+            self.d,
+            self.n_g,
+        )
+
+        # Phase-3 shared precomputation.
+        self.predicts = fsm._predict_arr
+        self.predicts_list = [bool(fsm.predicts(lv)) for lv in range(self.d)]
+        self.taken_probe = np.arange(R2) < R  # outcome of both probe slots
+        sel1 = np.clip(self.sel_initial + drift, 0, 3)
+        self.sel1 = sel1
+        self.sel1_up = np.minimum(sel1 + 1, self.sel_max)
+        self.sel1_down = np.maximum(sel1 - 1, 0)
+        self.out_rows = outcomes.tolist()
+
+    # -- per-trial summary --------------------------------------------------
+
+    def summarize(self, seed: int) -> Tuple[int, np.ndarray, bool, int]:
+        """One block's campaign-relevant footprint.
+
+        Returns ``(bimodal_id, gshare_ids, tsel_touched, block_tag)``:
+        the target bimodal entry's fold id, the fold id per tracked
+        gshare entry, whether the block touches the target's selector
+        entry, and the last identification tag it writes to the target's
+        set (-1 when it never touches that set).
+        """
+        block = RandomizationBlock.generate(
+            seed, n_branches=self.block_branches
+        )
+        addresses = block.addresses
+        outcomes = block.outcomes
+        monoid = self.monoid
+
+        on_target = _fast_mod(addresses, self.n_b) == self.tb
+        bim_id = monoid.reduce(monoid.outcome_id_sequence(outcomes[on_target]))
+
+        trajectory = block.ghr_trajectory(self.ghr_len)
+        g_indices = _fast_mod(addresses ^ trajectory, self.n_g).astype(np.int64)
+        pos = self.plan_g.pos_table[g_indices]
+        tracked_mask = pos >= 0
+        g_ids = _fold_tracked_ids(
+            monoid, pos[tracked_mask], outcomes[tracked_mask],
+            self.plan_g.n_tracked,
+        )
+
+        tsel_touched = bool((_fast_mod(addresses, self.n_sel) == self.tsel).any())
+        covering = np.nonzero(_fast_mod(addresses, self.n_sets) == self.tset)[0]
+        if len(covering):
+            block_tag = int(
+                (addresses[covering[-1]] // self.n_sets) & self.tag_mask
+            )
+        else:
+            block_tag = -1
+        return int(bim_id), g_ids, tsel_touched, block_tag
+
+    # -- phase 3 ------------------------------------------------------------
+
+    def _codes_scalar(
+        self, row_b: np.ndarray, row_g: np.ndarray, block_tag: int
+    ) -> np.ndarray:
+        """Sequential prediction chain for one *untouched-selector*
+        instance — the rare case where chooser state carries across
+        repetitions, replayed exactly as the batch engine's phase 3."""
+        predicts = self.predicts_list
+        d = self.d
+        sel_initial = self.sel_initial
+        sel_max = self.sel_max
+        threshold = self.sel_threshold
+        ttag = self.ttag
+        sel_val = self.sel_val0
+        bit_valid = self.bit_valid0
+        bit_tag = self.bit_tag0
+        codes = np.empty(self.R2, dtype=np.int64)
+        b_rows = row_b.tolist()
+        g_rows = row_g.tolist()
+        for r in range(self.R2):
+            row_out = self.out_rows[r]
+            rb = b_rows[r]
+            rg = g_rows[r]
+            for j in range(d):
+                if not (bit_valid and bit_tag == ttag):
+                    sel_val = sel_initial
+                else:
+                    taken = bool(row_out[j])
+                    bimodal_ok = predicts[rb[j]] == taken
+                    gshare_ok = predicts[rg[j]] == taken
+                    if bimodal_ok != gshare_ok:
+                        sel_val = (
+                            min(sel_max, sel_val + 1)
+                            if gshare_ok
+                            else max(0, sel_val - 1)
+                        )
+                bit_valid = True
+                bit_tag = ttag
+            if block_tag >= 0:
+                bit_valid = True
+                bit_tag = block_tag
+            value = sel_val + int(self.drift_tsel[r])
+            sel_val = 0 if value < 0 else (3 if value > 3 else value)
+            if self.noise_tag[r] >= 0:
+                bit_valid = True
+                bit_tag = int(self.noise_tag[r])
+            code = 0
+            for slot, j in enumerate((d, d + 1)):
+                taken = bool(row_out[j])
+                known = bit_valid and bit_tag == ttag
+                bimodal_taken = predicts[rb[j]]
+                gshare_taken = predicts[rg[j]]
+                predicted = (
+                    gshare_taken
+                    if known and sel_val >= threshold
+                    else bimodal_taken
+                )
+                if predicted != taken:
+                    code |= 2 >> slot
+                if not known:
+                    sel_val = sel_initial
+                else:
+                    bimodal_ok = bimodal_taken == taken
+                    gshare_ok = gshare_taken == taken
+                    if bimodal_ok != gshare_ok:
+                        sel_val = (
+                            min(sel_max, sel_val + 1)
+                            if gshare_ok
+                            else max(0, sel_val - 1)
+                        )
+                bit_valid = True
+                bit_tag = ttag
+            codes[r] = code
+        return codes
+
+    def assess_chunk(
+        self, seeds: Sequence[int], pre_trial: Optional[Callable[[int], None]]
+    ) -> List[BlockAssessment]:
+        """Assess one chunk of block seeds through the stacked pipeline."""
+        chunk = len(seeds)
+        lift_b = np.empty((chunk, 1), dtype=np.int64)
+        lift_g = np.empty((chunk, self.plan_g.n_tracked), dtype=np.int64)
+        touched = np.empty(chunk, dtype=bool)
+        block_tags = np.empty(chunk, dtype=np.int64)
+        for i, seed in enumerate(seeds):
+            if pre_trial is not None:
+                pre_trial(seed)
+            bim_id, g_ids, tsel_touched, block_tag = self.summarize(seed)
+            lift_b[i, 0] = bim_id
+            lift_g[i] = g_ids
+            touched[i] = tsel_touched
+            block_tags[i] = block_tag
+
+        read_b = self.plan_b.read_levels(lift_b)
+        read_g = self.plan_g.read_levels(lift_g)
+        d = self.d
+        codes = np.empty((chunk, self.R2), dtype=np.int64)
+
+        fast = np.nonzero(touched)[0]
+        if len(fast):
+            # The block resets the target's chooser entry every
+            # repetition, so nothing carries between repetitions and the
+            # whole chain vectorises: chooser after noise drift is a
+            # shared (R2,) vector, and the per-instance part is just the
+            # identification tag entering the first probe.
+            pred_b1 = self.predicts[read_b[fast, :, d]]
+            pred_g1 = self.predicts[read_g[fast, :, d]]
+            pred_b2 = self.predicts[read_b[fast, :, d + 1]]
+            pred_g2 = self.predicts[read_g[fast, :, d + 1]]
+            taken = self.taken_probe[None, :]
+            tag1 = np.where(
+                self.noise_tag[None, :] >= 0,
+                self.noise_tag[None, :],
+                np.where(
+                    block_tags[fast, None] >= 0,
+                    block_tags[fast, None],
+                    self.ttag,
+                ),
+            )
+            known1 = tag1 == self.ttag
+            use_gshare1 = known1 & (self.sel1[None, :] >= self.sel_threshold)
+            miss1 = np.where(use_gshare1, pred_g1, pred_b1) != taken
+            b_ok = pred_b1 == taken
+            g_ok = pred_g1 == taken
+            sel2 = np.where(
+                known1,
+                np.where(
+                    b_ok != g_ok,
+                    np.where(
+                        g_ok, self.sel1_up[None, :], self.sel1_down[None, :]
+                    ),
+                    self.sel1[None, :],
+                ),
+                self.sel_initial,
+            )
+            # Probe 1 re-identifies the branch, so probe 2 always knows it.
+            miss2 = np.where(
+                sel2 >= self.sel_threshold, pred_g2, pred_b2
+            ) != taken
+            codes[fast] = miss1 * 2 + miss2
+
+        for i in np.nonzero(~touched)[0]:
+            codes[i] = self._codes_scalar(
+                read_b[i], read_g[i], int(block_tags[i])
+            )
+
+        out: List[BlockAssessment] = []
+        counts_tt = np.stack(
+            [(codes[:, : self.R] == c).sum(axis=1) for c in range(4)], axis=1
+        )
+        counts_nn = np.stack(
+            [(codes[:, self.R:] == c).sum(axis=1) for c in range(4)], axis=1
+        )
+        # max over (count, pattern): patterns are in lexicographic order,
+        # so scaling counts by 4 and adding the code reproduces the
+        # scalar tie-break exactly.
+        rank = np.arange(4)[None, :]
+        best_tt = np.argmax(counts_tt * 4 + rank, axis=1)
+        best_nn = np.argmax(counts_nn * 4 + rank, axis=1)
+        for i, seed in enumerate(seeds):
+            out.append(
+                BlockAssessment(
+                    seed=seed,
+                    tt_pattern=_PATTERNS[best_tt[i]],
+                    tt_frequency=int(counts_tt[i, best_tt[i]]) / self.R,
+                    nn_pattern=_PATTERNS[best_nn[i]],
+                    nn_frequency=int(counts_nn[i, best_nn[i]]) / self.R,
+                )
+            )
+        return out
+
+
+def manycore_supported(
+    core: PhysicalCore, gaps: Optional[np.ndarray] = None
+) -> Optional[str]:
+    """Why the manycore closed-form engine is inexact for ``core``.
+
+    Returns ``None`` when supported, else the fallback reason:
+    ``"mitigation"`` for any installed mitigation (index hooks would
+    have to run per branch per instance; observation hooks fail
+    :func:`~repro.core.batch_probe.batch_scan_supported` as in the
+    per-trial engines) or ``"unshared_structure"`` when the two PHTs do
+    not share one FSM instance or ``gaps`` contains an empty noise gap
+    (the closed-form GHR then depends on the per-block ``ghr_end``).
+    """
+    if len(core.mitigations) > 0 or not batch_scan_supported(core):
+        return "mitigation"
+    if core.predictor.bimodal.pht.fsm is not core.predictor.gshare.pht.fsm:
+        return "unshared_structure"
+    if gaps is not None and bool((np.asarray(gaps) == 0).any()):
+        return "unshared_structure"
+    return None
+
+
+class ManycoreCampaignPool:
+    """A ``TrialPool``-shaped adapter running trials on the SoA engine.
+
+    Drop-in for the ``pool`` seat of
+    :func:`~repro.core.calibration.stability_experiment`: ``map(fn,
+    seeds)`` returns the bit-identical :class:`BlockAssessment` list the
+    scalar trial closure ``fn`` would produce, computing it through the
+    shared-structure engine when supported and calling ``fn`` per
+    payload otherwise (counted as a ``"manycore"`` scalar fallback).
+    Composes with :class:`~repro.resilience.ResumableCampaign`
+    unchanged — assessments are pure functions of the block seed either
+    way, so checkpoints written by one backend resume under the other.
+    """
+
+    def __init__(
+        self,
+        core_factory: Callable[[], PhysicalCore],
+        target_address: int,
+        *,
+        block_branches: int,
+        repetitions: int,
+        noise: Optional[NoiseModel] = None,
+        pre_trial: Optional[Callable[[int], None]] = None,
+        chunk_size: int = DEFAULT_CHUNK,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.core_factory = core_factory
+        self.target_address = int(target_address)
+        self.block_branches = int(block_branches)
+        self.repetitions = int(repetitions)
+        self.noise = noise
+        self.pre_trial = pre_trial
+        self.chunk_size = int(chunk_size)
+        self._shared: Optional[_SharedStructure] = None
+        self._fallback_reason: Optional[str] = None
+        self._built = False
+
+    @property
+    def rng_digest(self) -> Optional[str]:
+        """Stream-position digest every trial's factory RNG ends at."""
+        self._ensure_built()
+        return self._shared.rng_digest if self._shared else None
+
+    def _ensure_built(self) -> None:
+        if self._built:
+            return
+        self._built = True
+        template = self.core_factory()
+        reason = manycore_supported(template)
+        if reason is None:
+            # A nondeterministic factory breaks the shared-plan premise;
+            # one extra factory call per campaign buys the check.
+            digest0 = rng_state_digest(template.rng)
+            probe = self.core_factory()
+            if (
+                rng_state_digest(probe.rng) != digest0
+                or probe.config.name != template.config.name
+            ):
+                reason = "nondeterministic_factory"
+        if reason is None:
+            plan = draw_trial_plan(
+                template.rng,
+                template,
+                repetitions=self.repetitions,
+                noise=self.noise,
+            )
+            gaps = plan.offsets[1:] - plan.offsets[:-1]
+            reason = manycore_supported(template, gaps)
+            if reason is None:
+                self._shared = _SharedStructure(
+                    template,
+                    self.target_address,
+                    plan,
+                    rng_state_digest(template.rng),
+                    self.block_branches,
+                )
+        self._fallback_reason = reason
+
+    def map(self, fn: Callable[[int], BlockAssessment], payloads) -> List:
+        """``[fn(seed) for seed in payloads]`` through the SoA engine."""
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        self._ensure_built()
+        if self._shared is None:
+            obs.record_scalar_fallback(
+                "manycore", self._fallback_reason or "unsupported",
+                n=len(payloads),
+            )
+            return [fn(payload) for payload in payloads]
+        tracer = obs.TRACER
+        if tracer is not None:
+            tracer.emit(
+                "calibration",
+                "manycore_dispatch",
+                address=self.target_address,
+                trials=len(payloads),
+                chunk=self.chunk_size,
+                nodes_bimodal=self._shared.plan_b.n_nodes,
+                nodes_gshare=self._shared.plan_g.n_nodes,
+            )
+        results: List[BlockAssessment] = []
+        for start in range(0, len(payloads), self.chunk_size):
+            results.extend(
+                self._shared.assess_chunk(
+                    payloads[start:start + self.chunk_size], self.pre_trial
+                )
+            )
+        return results
+
+
+class ManycoreFindPool:
+    """Candidate pre-screen for ``find_block(backend="manycore")``.
+
+    The pooled candidate search deep-copies the core, generates the
+    block, and folds the target entry *inside* each trial just to throw
+    most candidates away.  Rejected trials touch no shared state, so
+    screening them out before the trial closure runs is bit-identical —
+    and the screen needs only the block generation plus one monoid
+    reduce.  With mitigations installed the index hooks are stateful and
+    the screen would desynchronise them, so the pool degrades to plain
+    delegation (a counted ``"manycore"`` fallback).
+    """
+
+    def __init__(
+        self,
+        inner,
+        core: PhysicalCore,
+        target_address: int,
+        desired_state,
+        *,
+        block_branches: int,
+    ) -> None:
+        self._inner = inner
+        self._block_branches = int(block_branches)
+        self._enabled = len(core.mitigations) == 0
+        if not self._enabled:
+            obs.record_scalar_fallback("manycore", "mitigation")
+            return
+        fsm = core.predictor.bimodal.pht.fsm
+        self._fsm = fsm
+        self._monoid = fsm.transition_monoid()
+        self._n_b = core.predictor.bimodal.pht.n_entries
+        self._tb = core.predictor.bimodal.index(target_address, 0, None)
+        self._desired_name = desired_state.value
+
+    def _passes(self, payload) -> bool:
+        seed, _child = payload
+        block = RandomizationBlock.generate(
+            seed, n_branches=self._block_branches
+        )
+        monoid = self._monoid
+        ids = monoid.outcome_id_sequence(
+            block.outcomes[block.addresses % self._n_b == self._tb]
+        )
+        row = monoid.maps[monoid.reduce(ids)]
+        if not (row == row[0]).all():
+            return False
+        return self._fsm.public_state(int(row[0])).name == self._desired_name
+
+    def map(self, fn, payloads) -> List:
+        payloads = list(payloads)
+        if not self._enabled:
+            return self._inner.map(fn, payloads)
+        survivors = [i for i, p in enumerate(payloads) if self._passes(p)]
+        results: List = [None] * len(payloads)
+        if survivors:
+            out = self._inner.map(fn, [payloads[i] for i in survivors])
+            for i, result in zip(survivors, out):
+                results[i] = result
+        return results
+
+    def find_first(self, fn, payloads, **kwargs):
+        payloads = list(payloads)
+        if not self._enabled:
+            return self._inner.find_first(fn, payloads, **kwargs)
+        survivors = [p for p in payloads if self._passes(p)]
+        return self._inner.find_first(fn, survivors, **kwargs)

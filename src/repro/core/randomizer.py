@@ -366,8 +366,10 @@ class RandomizationBlock:
         differential tests in ``tests/test_fold_vectorized.py`` assert
         entry-for-entry equality between the two.
         """
-        fold = np.tile(np.arange(n_levels, dtype=np.int8), (n_entries, 1))
-        outcomes = self.outcomes.astype(np.int8)
+        fold = np.tile(
+            np.arange(n_levels, dtype=step_table.dtype), (n_entries, 1)
+        )
+        outcomes = self.outcomes.astype(np.int64)
         for idx, out in zip(indices, outcomes):
             fold[idx, :] = step_table[out, fold[idx, :]]
         return fold

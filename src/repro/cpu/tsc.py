@@ -47,8 +47,16 @@ class TimestampCounter:
         return value
 
     def time(self, fn, *args, **kwargs):
-        """Time a callable with two TSC reads; returns (result, cycles)."""
+        """Time a callable with two TSC reads; returns (result, cycles).
+
+        Both reads' serialisation overhead is charged to the measured
+        interval symmetrically: the opening read's timestamp precedes its
+        own overhead, so the closing boundary must be taken *after* the
+        closing read's overhead has elapsed — the measured cost of a
+        no-op is exactly ``2 * read_overhead``.
+        """
         start = self.read()
         result = fn(*args, **kwargs)
-        end = self.read()
+        self.read()
+        end = self.clock.now
         return result, end - start

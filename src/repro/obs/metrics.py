@@ -253,7 +253,13 @@ class MetricsRegistry:
         return "{" + ",".join(f'{k}="{v}"' for k, v in key) + "}"
 
     def render_text(self) -> str:
-        """Exposition-format-style text dump of every series."""
+        """Exposition-format text dump of every series.
+
+        Real scrapers enforce two details the first cut of this method
+        missed: every histogram must expose a cumulative ``_bucket``
+        series ending in ``le="+Inf"`` (whose value equals ``_count``),
+        and the payload must end with a newline.
+        """
         lines: List[str] = []
         for family in self.families():
             if family.help:
@@ -266,6 +272,16 @@ class MetricsRegistry:
                 label_text = self._render_labels(key)
                 value = series[key]
                 if family.kind == "histogram":
+                    bounds = [f"{b:.6g}" for b in family.buckets] + ["+Inf"]
+                    cumulative = 0
+                    for bound, count in zip(bounds, value["counts"]):
+                        cumulative += count
+                        bucket_labels = self._render_labels(
+                            tuple(key) + (("le", bound),)
+                        )
+                        lines.append(
+                            f"{family.name}_bucket{bucket_labels} {cumulative}"
+                        )
                     lines.append(
                         f"{family.name}_count{label_text} {value['count']}"
                     )
@@ -274,4 +290,4 @@ class MetricsRegistry:
                     )
                 else:
                     lines.append(f"{family.name}{label_text} {value:.6g}")
-        return "\n".join(lines)
+        return "\n".join(lines) + "\n" if lines else ""

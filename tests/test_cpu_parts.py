@@ -57,6 +57,20 @@ class TestTSC:
         with pytest.raises(ValueError):
             TimestampCounter(CycleClock(), read_overhead=-1)
 
+    def test_noop_costs_exactly_two_read_overheads(self):
+        """Both bracketing reads charge their overhead symmetrically."""
+        clock = CycleClock()
+        tsc = TimestampCounter(clock, read_overhead=30)
+        result, cycles = tsc.time(lambda: "noop")
+        assert result == "noop"
+        assert cycles == 2 * tsc.read_overhead
+
+    def test_timed_region_includes_both_read_overheads(self):
+        clock = CycleClock()
+        tsc = TimestampCounter(clock, read_overhead=7)
+        _, cycles = tsc.time(clock.advance, 100)
+        assert cycles == 100 + 2 * 7
+
 
 class TestCounters:
     def test_increment_and_read(self):

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.bpu.fsm import FSMSpec, State, skylake_fsm, textbook_2bit_fsm
+from repro.bpu.fsm import (
+    FSMSpec,
+    State,
+    level_dtype,
+    skylake_fsm,
+    textbook_2bit_fsm,
+)
 from repro.core.patterns import expected_probe_pattern
 
 ALL_FSMS = [textbook_2bit_fsm, skylake_fsm]
@@ -233,3 +239,77 @@ class TestSpecValidation:
         )
         with pytest.raises(ValueError):
             fsm.level_for(State.WT)
+
+
+def wide_saturating_fsm(n_levels: int = 256) -> FSMSpec:
+    """A linear saturating counter with ``n_levels`` levels.
+
+    Exercises the >127-level regime where int8 level storage would
+    silently wrap (the taken side saturates at ``n_levels - 1 > 127``).
+    """
+    top = n_levels - 1
+    half = n_levels // 2
+    public = [State.SN] + [State.WN] * (half - 1)
+    public += [State.WT] * (top - half) + [State.ST]
+    return FSMSpec(
+        name=f"wide-{n_levels}",
+        n_levels=n_levels,
+        predict_taken=tuple(i >= half for i in range(n_levels)),
+        next_on_taken=tuple(min(i + 1, top) for i in range(n_levels)),
+        next_on_not_taken=tuple(max(i - 1, 0) for i in range(n_levels)),
+        to_public=tuple(public),
+    )
+
+
+class TestWideCounters:
+    """Regression: a 256-level FSM must not wrap int8 level storage."""
+
+    def test_level_dtype_widens_with_n_levels(self):
+        assert level_dtype(4) == np.int8
+        assert level_dtype(128) == np.int8
+        assert level_dtype(129) == np.int16
+        assert level_dtype(1 << 20) == np.int32
+        with pytest.raises(ValueError):
+            level_dtype(0)
+
+    def test_256_level_fsm_saturates_without_wrapping(self):
+        fsm = wide_saturating_fsm(256)
+        assert fsm.step_table.dtype == np.int16
+        level = 0
+        for _ in range(300):
+            level = fsm.step(level, True)
+        assert level == 255  # int8 would have wrapped negative at 128
+        assert fsm.public_state(level) is State.ST
+
+    def test_256_level_pht_stores_high_levels(self):
+        from repro.bpu.pht import PatternHistoryTable
+
+        pht = PatternHistoryTable(8, wide_saturating_fsm(256))
+        assert pht.levels.dtype == np.int16
+        pht.set_level(3, 255)
+        assert pht.level(3) == 255
+        for _ in range(200):
+            pht.update(0, True)
+        assert pht.level(0) == 200 + pht._initial_level
+        snap = pht.snapshot()
+        pht.update(3, False)
+        pht.restore(snap)
+        assert pht.level(3) == 255
+
+    def test_256_level_randomize_covers_high_levels(self):
+        from repro.bpu.pht import PatternHistoryTable
+
+        pht = PatternHistoryTable(4096, wide_saturating_fsm(256))
+        pht.randomize(np.random.default_rng(0))
+        assert int(pht.levels.max()) > 127
+        assert int(pht.levels.min()) >= 0
+
+    def test_wide_selector_counters_do_not_wrap(self):
+        from repro.bpu.selector import SelectorTable
+
+        sel = SelectorTable(16, initial_counter=0, counter_bits=9)
+        assert sel.max_counter == 511
+        for _ in range(600):
+            sel.update(5, bimodal_correct=False, gshare_correct=True)
+        assert sel.counter(5) == 511  # int8 would have wrapped at 128
+        assert sel.choose(5).name == "GSHARE"

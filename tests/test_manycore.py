@@ -1,0 +1,442 @@
+"""Manycore struct-of-arrays backend: differential and unit coverage.
+
+The contract under test is *bit-identity*: the manycore engine must
+return exactly the assessment list (and leave exactly the caller-visible
+RNG positions) that the per-trial path produces, across presets, noise
+models, checkpoint interruptions, and every fallback branch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bpu.presets import haswell, sandy_bridge, skylake
+from repro.core.calibration import (
+    DecodedState,
+    draw_trial_plan,
+    find_block,
+    stability_experiment,
+)
+from repro.core.manycore import (
+    ManycoreCampaignPool,
+    ManycoreState,
+    manycore_supported,
+)
+from repro.core.randomizer import RandomizationBlock
+from repro.cpu.core import PhysicalCore
+from repro.cpu.counters import CounterKind
+from repro.cpu.process import Process
+from repro.mitigations.noisy_counters import NoisyPerformanceCounters
+from repro.mitigations.stochastic_fsm import StochasticFSM
+from repro.obs import trace as obs
+from repro.parallel import spawn_seeds
+from repro.resilience.checkpoint import rng_state_digest
+from repro.system.noise import NoiseModel
+
+TARGET = 0x30_0006D
+
+ALL_PRESETS = [skylake, haswell, sandy_bridge]
+
+
+def small_factory(preset, seed=7, factor=16):
+    config = preset().scaled(factor)
+    return lambda: PhysicalCore(config, seed=seed)
+
+
+@pytest.fixture(autouse=True)
+def _clean_fallback_counts():
+    obs.reset_scalar_fallbacks()
+    yield
+    obs.reset_scalar_fallbacks()
+
+
+class TestDifferential:
+    """backend='manycore' == backend='process', bit for bit."""
+
+    @pytest.mark.parametrize("preset", ALL_PRESETS)
+    def test_all_presets(self, preset):
+        factory = small_factory(preset)
+        kwargs = dict(
+            n_blocks=10,
+            block_branches=2500,
+            repetitions=12,
+            noise=NoiseModel.isolated(),
+        )
+        reference = stability_experiment(
+            factory, TARGET, backend="process", **kwargs
+        )
+        manycore = stability_experiment(
+            factory, TARGET, backend="manycore", **kwargs
+        )
+        assert manycore == reference
+
+    def test_untouched_selector_path(self):
+        """Blocks too small to touch the target's chooser entry exercise
+        the sequential phase-3 chain; results must still match."""
+        factory = small_factory(skylake, factor=4)
+        kwargs = dict(
+            n_blocks=16,
+            block_branches=300,
+            repetitions=8,
+            noise=NoiseModel.noisy(),
+            seed_start=100,
+        )
+        config = skylake().scaled(4)
+        missed = sum(
+            not (
+                RandomizationBlock.generate(s, n_branches=300).addresses
+                % config.selector_entries
+                == TARGET % config.selector_entries
+            ).any()
+            for s in range(100, 116)
+        )
+        assert missed > 0  # the scenario actually covers the slow path
+        reference = stability_experiment(
+            factory, TARGET, backend="process", **kwargs
+        )
+        manycore = stability_experiment(
+            factory, TARGET, backend="manycore", **kwargs
+        )
+        assert manycore == reference
+
+    def test_quiesced_noise(self):
+        factory = small_factory(haswell)
+        kwargs = dict(
+            n_blocks=8,
+            block_branches=2000,
+            repetitions=10,
+            noise=NoiseModel.quiesced(),
+        )
+        reference = stability_experiment(
+            factory, TARGET, backend="process", **kwargs
+        )
+        manycore = stability_experiment(
+            factory, TARGET, backend="manycore", **kwargs
+        )
+        assert manycore == reference
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            stability_experiment(
+                small_factory(skylake), TARGET, n_blocks=1, backend="gpu"
+            )
+
+    def test_manycore_rejects_scalar_engine(self):
+        with pytest.raises(ValueError, match="fast=True"):
+            stability_experiment(
+                small_factory(skylake),
+                TARGET,
+                n_blocks=1,
+                fast=False,
+                backend="manycore",
+            )
+
+
+class TestRNGDiscipline:
+    def test_shared_plan_digest_matches_scalar_stream(self):
+        """Every scalar trial leaves its factory core's RNG at the same
+        position; the pool's shared draw must land exactly there."""
+        factory = small_factory(skylake)
+        pool = ManycoreCampaignPool(
+            factory,
+            TARGET,
+            block_branches=2000,
+            repetitions=12,
+            noise=NoiseModel.isolated(),
+        )
+        core = factory()
+        draw_trial_plan(core.rng, core, repetitions=12, noise=NoiseModel.isolated())
+        assert pool.rng_digest == rng_state_digest(core.rng)
+
+    def test_nondeterministic_factory_falls_back(self):
+        seeds = iter(range(1000))
+        config = skylake().scaled(16)
+
+        def factory():
+            return PhysicalCore(config, seed=next(seeds))
+
+        pool = ManycoreCampaignPool(
+            factory, TARGET, block_branches=1500, repetitions=6
+        )
+        calls = []
+        pool.map(calls.append, [1, 2, 3])
+        assert calls == [1, 2, 3]  # delegated to the scalar fn
+        assert obs.scalar_fallback_counts()["manycore"] == 3
+
+
+class TestFallbacks:
+    @pytest.mark.parametrize(
+        "mitigation", [NoisyPerformanceCounters, StochasticFSM]
+    )
+    def test_mitigated_core_uses_scalar_path(self, mitigation):
+        config = skylake().scaled(16)
+
+        def factory():
+            core = PhysicalCore(config, seed=3)
+            core.mitigations.install(mitigation())
+            return core
+
+        kwargs = dict(
+            n_blocks=4,
+            block_branches=1500,
+            repetitions=6,
+            noise=NoiseModel.isolated(),
+        )
+        reference = stability_experiment(
+            factory, TARGET, backend="process", **kwargs
+        )
+        obs.reset_scalar_fallbacks()
+        manycore = stability_experiment(
+            factory, TARGET, backend="manycore", **kwargs
+        )
+        assert manycore == reference
+        assert obs.scalar_fallback_counts()["manycore"] == 4
+
+    def test_zero_gap_noise_uses_scalar_path(self):
+        factory = small_factory(skylake)
+        kwargs = dict(
+            n_blocks=4,
+            block_branches=1500,
+            repetitions=6,
+            noise=NoiseModel.silent(),
+        )
+        reference = stability_experiment(
+            factory, TARGET, backend="process", **kwargs
+        )
+        obs.reset_scalar_fallbacks()
+        manycore = stability_experiment(
+            factory, TARGET, backend="manycore", **kwargs
+        )
+        assert manycore == reference
+        assert obs.scalar_fallback_counts()["manycore"] == 4
+
+    def test_supported_predicate(self):
+        core = PhysicalCore(skylake().scaled(16), seed=0)
+        assert manycore_supported(core) is None
+        assert manycore_supported(core, np.array([3, 0, 5])) == (
+            "unshared_structure"
+        )
+        core.mitigations.install(StochasticFSM())
+        assert manycore_supported(core) == "mitigation"
+
+
+class TestCheckpointing:
+    def _kwargs(self):
+        return dict(
+            n_blocks=9,
+            block_branches=2000,
+            repetitions=10,
+            noise=NoiseModel.isolated(),
+        )
+
+    def test_kill_and_resume_is_bit_identical(self, tmp_path):
+        factory = small_factory(haswell)
+        expected = stability_experiment(
+            factory, TARGET, backend="process", **self._kwargs()
+        )
+        store = tmp_path / "campaign.ckpt"
+
+        calls = {"n": 0}
+
+        def dying_pre_trial(seed: int) -> None:
+            calls["n"] += 1
+            if calls["n"] > 3:
+                raise RuntimeError("injected crash")
+
+        with pytest.raises(RuntimeError):
+            stability_experiment(
+                factory,
+                TARGET,
+                backend="manycore",
+                checkpoint=store,
+                checkpoint_interval=3,
+                pre_trial=dying_pre_trial,
+                **self._kwargs(),
+            )
+        resumed = stability_experiment(
+            factory,
+            TARGET,
+            backend="manycore",
+            checkpoint=store,
+            checkpoint_interval=3,
+            resume=True,
+            **self._kwargs(),
+        )
+        assert resumed == expected
+
+    def test_resume_across_backends(self, tmp_path):
+        """A campaign interrupted under the process backend finishes
+        under manycore with the identical list (and vice versa)."""
+        factory = small_factory(haswell)
+        expected = stability_experiment(
+            factory, TARGET, backend="process", **self._kwargs()
+        )
+        store = tmp_path / "campaign.ckpt"
+        calls = {"n": 0}
+
+        def dying_pre_trial(seed: int) -> None:
+            calls["n"] += 1
+            if calls["n"] > 3:
+                raise RuntimeError("injected crash")
+
+        with pytest.raises(RuntimeError):
+            stability_experiment(
+                factory,
+                TARGET,
+                backend="process",
+                checkpoint=store,
+                checkpoint_interval=3,
+                pre_trial=dying_pre_trial,
+                **self._kwargs(),
+            )
+        resumed = stability_experiment(
+            factory,
+            TARGET,
+            backend="manycore",
+            checkpoint=store,
+            checkpoint_interval=3,
+            resume=True,
+            **self._kwargs(),
+        )
+        assert resumed == expected
+
+
+class TestFindBlock:
+    def test_manycore_winner_matches_pooled(self):
+        config = haswell().scaled(16)
+        kwargs = dict(
+            block_branches=6000,
+            repetitions=10,
+            max_candidates=64,
+            noise=NoiseModel.isolated(),
+        )
+        spy = Process("search-spy")
+        core_a = PhysicalCore(config, seed=5)
+        core_b = PhysicalCore(config, seed=5)
+        reference = find_block(
+            core_a, spy, TARGET, DecodedState.SN, workers=1,
+            backend="process", **kwargs,
+        )
+        manycore = find_block(
+            core_b, spy, TARGET, DecodedState.SN,
+            backend="manycore", **kwargs,
+        )
+        assert manycore.block.seed == reference.block.seed
+        # The search's footprint on the caller core (one entropy draw)
+        # is identical too.
+        assert rng_state_digest(core_a.rng) == rng_state_digest(core_b.rng)
+
+    def test_mitigated_search_delegates(self):
+        config = haswell().scaled(16)
+        kwargs = dict(
+            block_branches=6000,
+            repetitions=10,
+            max_candidates=64,
+            noise=NoiseModel.isolated(),
+        )
+        spy = Process("search-spy")
+
+        def build():
+            core = PhysicalCore(config, seed=5)
+            core.mitigations.install(NoisyPerformanceCounters(magnitude=0))
+            return core
+
+        reference = find_block(
+            build(), spy, TARGET, DecodedState.SN, workers=1,
+            backend="process", **kwargs,
+        )
+        obs.reset_scalar_fallbacks()
+        manycore = find_block(
+            build(), spy, TARGET, DecodedState.SN,
+            backend="manycore", **kwargs,
+        )
+        assert manycore.block.seed == reference.block.seed
+        assert obs.scalar_fallback_counts()["manycore"] >= 1
+
+
+class TestManycoreState:
+    def _cores(self, n=3):
+        config = skylake().scaled(32)
+        return [PhysicalCore(config, seed=10 + i) for i in range(n)]
+
+    def test_from_factory_broadcasts_and_spawns_streams(self):
+        config = skylake().scaled(32)
+        factory = lambda: PhysicalCore(config, seed=4)
+        state = ManycoreState.from_factory(factory, 4, seed=123)
+        template = factory()
+        assert state.n == 4
+        for row in state.bimodal_levels:
+            assert (row == template.predictor.bimodal.pht.levels).all()
+        for row in state.selector_counters:
+            assert (row == template.predictor.selector.counters).all()
+        expected = [
+            rng_state_digest(np.random.default_rng(child))
+            for child in spawn_seeds(123, 4)
+        ]
+        assert state.rng_digests() == expected
+
+    def test_apply_compiled_matches_scalar_apply(self):
+        cores = self._cores()
+        spy = Process("spy")
+        state = ManycoreState.from_cores(cores, process=spy)
+        blocks = [
+            RandomizationBlock.generate(seed, n_branches=800)
+            for seed in (1, 2, 3)
+        ]
+        compiled = [b.compile(c, spy) for b, c in zip(blocks, cores)]
+        state.apply_compiled(compiled)
+        for c, core in zip(compiled, cores):
+            c.apply(core, spy)
+        for i, core in enumerate(cores):
+            predictor = core.predictor
+            assert (
+                state.bimodal_levels[i] == predictor.bimodal.pht.levels
+            ).all()
+            assert (
+                state.gshare_levels[i] == predictor.gshare.pht.levels
+            ).all()
+            assert (
+                state.selector_counters[i] == predictor.selector.counters
+            ).all()
+            assert state.ghr_values[i] == predictor.ghr.value
+            assert (state.bit_valid[i] == predictor.bit.valid).all()
+            assert (state.bit_tags[i] == predictor.bit.tags).all()
+            assert state.clock[i] == core.clock.now
+            counters = core.counters_for(spy)
+            assert state.branches[i] == counters.read(CounterKind.BRANCHES)
+            assert state.mispredictions[i] == counters.read(
+                CounterKind.BRANCH_MISSES
+            )
+            assert state.cycles[i] == counters.read(CounterKind.CYCLES)
+
+    def test_apply_compiled_broadcasts_single_block(self):
+        cores = self._cores(2)
+        spy = Process("spy")
+        state = ManycoreState.from_cores(cores, process=spy)
+        compiled = RandomizationBlock.generate(9, n_branches=600).compile(
+            cores[0], spy
+        )
+        state.apply_compiled(compiled)
+        for core in cores:
+            compiled.apply(core, spy)
+        for i, core in enumerate(cores):
+            assert (
+                state.bimodal_levels[i] == core.predictor.bimodal.pht.levels
+            ).all()
+            assert state.ghr_values[i] == core.predictor.ghr.value
+
+    def test_mixed_configs_rejected(self):
+        a = PhysicalCore(skylake().scaled(32), seed=0)
+        b = PhysicalCore(haswell().scaled(32), seed=0)
+        with pytest.raises(ValueError, match="mixed configurations"):
+            ManycoreState.from_cores([a, b])
+
+    def test_wrong_config_block_rejected(self):
+        cores = self._cores(1)
+        spy = Process("spy")
+        state = ManycoreState.from_cores(cores)
+        other = PhysicalCore(haswell().scaled(32), seed=0)
+        compiled = RandomizationBlock.generate(1, n_branches=500).compile(
+            other, spy
+        )
+        with pytest.raises(ValueError, match="bound to config"):
+            state.apply_compiled([compiled])

@@ -8,6 +8,7 @@ enabling it can never change what the simulator computes.
 from __future__ import annotations
 
 import json
+import re
 
 import numpy as np
 import pytest
@@ -137,6 +138,56 @@ class TestMetrics:
         assert "# TYPE n counter" in text
         assert 'n{k="a"} 1' in text
         assert "lat_count 1" in text
+
+    def test_render_text_parses_as_exposition_format(self):
+        """Round-trip through a strict line parser of the text format.
+
+        Checks the two properties real scrapers reject on: the payload
+        ends in a newline, and every histogram exposes a cumulative
+        ``_bucket`` series whose ``le="+Inf"`` sample equals ``_count``.
+        """
+        registry = MetricsRegistry()
+        registry.counter("n", "things", labels=("k",)).inc(k="a")
+        hist = registry.histogram(
+            "lat", labels=("engine",), buckets=(1.0, 10.0)
+        )
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value, engine="batch")
+        text = registry.render_text()
+        assert text.endswith("\n")
+
+        sample_re = re.compile(
+            r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+            r'(?:\{(?P<labels>[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+            r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*)\})?'
+            r' (?P<value>\+Inf|-?[0-9.eE+-]+)$'
+        )
+        samples = {}
+        for line in text[:-1].split("\n"):
+            if line.startswith("#"):
+                assert re.match(r"^# (HELP|TYPE) [a-zA-Z_:]", line)
+                continue
+            match = sample_re.match(line)
+            assert match, f"unparseable sample line: {line!r}"
+            labels = dict(
+                pair.split("=", 1)
+                for pair in (match.group("labels") or "").split(",")
+                if pair
+            )
+            samples[(match.group("name"), tuple(sorted(labels.items())))] = (
+                float(match.group("value"))
+            )
+
+        # Cumulative buckets, +Inf present and equal to _count.
+        base = (("engine", '"batch"'),)
+        bucket = lambda le: samples[
+            ("lat_bucket", tuple(sorted(base + (("le", f'"{le}"'),))))
+        ]
+        assert bucket("1") == 1.0
+        assert bucket("10") == 2.0
+        assert bucket("+Inf") == 3.0
+        assert bucket("+Inf") == samples[("lat_count", base)]
+        assert samples[("lat_sum", base)] == pytest.approx(55.5)
 
 
 class TestExporters:
