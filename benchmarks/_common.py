@@ -3,10 +3,11 @@
 Every emitted table/figure gets a ``results/<name>.manifest.json``
 written beside it by :func:`write_result` — a
 :class:`repro.obs.manifest.RunManifest` recording the env knobs
-(``REPRO_BENCH_SCALE``, ``REPRO_TRIAL_WORKERS``), the git revision, the
-interpreter/numpy versions and a SHA-256 digest of the result text, so a
-committed number can always be traced back to the configuration that
-produced it.
+(``REPRO_BENCH_SCALE``, ``REPRO_TRIAL_WORKERS``), the active
+fold-kernel backend and its dispatch counts, the manycore pool's
+group-batching stats, the git revision, the interpreter/numpy versions
+and a SHA-256 digest of the result text, so a committed number can
+always be traced back to the configuration that produced it.
 
 Run ``PYTHONPATH=src python benchmarks/_common.py`` to *backfill*
 manifests for already-committed result files that predate this harness
@@ -20,6 +21,8 @@ import os
 from pathlib import Path
 from typing import Optional
 
+from repro import kernels
+from repro.core.manycore import group_batch_stats
 from repro.ioutil import atomic_write_text
 from repro.obs import RunManifest
 
@@ -48,7 +51,18 @@ def write_result(
     manifest = RunManifest.capture(
         name,
         duration_seconds=duration_seconds,
-        extra={"scale": os.environ.get("REPRO_BENCH_SCALE", "1.0")},
+        extra={
+            "scale": os.environ.get("REPRO_BENCH_SCALE", "1.0"),
+            # Which fold-kernel backend produced these numbers, plus how
+            # the manycore pool dispatched its payloads — a committed
+            # result is attributable to its execution path, not just its
+            # env knobs.
+            "kernels": {
+                "backend": kernels.active_backend(),
+                "dispatch_counts": kernels.kernel_dispatch_counts(),
+            },
+            "group_batching": group_batch_stats(),
+        },
     )
     manifest.add_result(path.name, body)
     manifest.write(results_dir / f"{name}.manifest.json")

@@ -245,17 +245,16 @@ class TransitionMonoid:
         return self.outcome_ids[np.asarray(outcomes, dtype=np.int64)]
 
     def reduce(self, ids: np.ndarray) -> int:
-        """Compose a sequence of map ids left-to-right into one id."""
-        ids = np.asarray(ids, dtype=np.int64)
-        if ids.size == 0:
-            return self.IDENTITY
-        while ids.size > 1:
-            odd = ids.size % 2
-            paired = self.compose_table[
-                ids[: ids.size - odd : 2], ids[1::2]
-            ].astype(np.int64)
-            ids = np.concatenate([paired, ids[-1:]]) if odd else paired
-        return int(ids[0])
+        """Compose a sequence of map ids left-to-right into one id.
+
+        Dispatches through :mod:`repro.kernels` — a pairwise tree on the
+        numpy backend, a sequential accumulator on the compiled ones;
+        ids are canonical and composition associative, so the orders
+        agree bit for bit.
+        """
+        from repro import kernels
+
+        return kernels.reduce_ids(ids, self.compose_table, self.IDENTITY)
 
     def fold_table(
         self,
@@ -271,40 +270,24 @@ class TransitionMonoid:
         for untouched entries) — bit-exact with stepping the FSM once
         per branch in program order.
 
-        Implementation: branches are stably sorted by entry, each
-        outcome becomes its map id, and a segmented Hillis-Steele scan
-        composes ids pairwise at doubling offsets, so the whole fold is
-        ``O(N log N)`` vectorised table lookups.
+        Dispatches through :mod:`repro.kernels`: the numpy backend
+        stable-sorts branches by entry and composes ids with a segmented
+        Hillis-Steele scan (``O(N log N)`` vectorised lookups), the
+        compiled backends run one ``O(N)`` accumulator pass; both yield
+        the same composed id per entry.
         """
-        table = np.tile(
-            np.arange(self.n_levels, dtype=self.maps.dtype), (int(n_entries), 1)
+        from repro import kernels
+
+        ids = kernels.fold_ids(
+            np.asarray(indices, dtype=np.int64),
+            self.outcome_id_sequence(outcomes).astype(np.int64),
+            self.compose_table,
+            int(n_entries),
+            self.IDENTITY,
         )
-        indices = np.asarray(indices, dtype=np.int64)
-        n = indices.size
-        if n == 0:
-            return table
-        order = np.argsort(indices, kind="stable")
-        seg = indices[order]
-        vals = self.outcome_id_sequence(outcomes)[order].astype(np.int64)
-        offset = 1
-        while offset < n:
-            # Compose with the value `offset` places back when it belongs
-            # to the same segment; sortedness makes that test sufficient,
-            # and a position whose lookback crosses its segment start is
-            # already fully reduced (its guard fails), so nothing is ever
-            # double-counted.
-            same = seg[offset:] == seg[:-offset]
-            vals[offset:] = np.where(
-                same,
-                self.compose_table[vals[:-offset], vals[offset:]],
-                vals[offset:],
-            )
-            offset *= 2
-        last = np.empty(n, dtype=bool)
-        last[-1] = True
-        last[:-1] = seg[1:] != seg[:-1]
-        table[seg[last]] = self.maps[vals[last]]
-        return table
+        # maps[IDENTITY] is the identity row, so untouched entries come
+        # out as identity maps exactly as before.
+        return self.maps[ids]
 
 
 #: Safety valve for degenerate FSM specs: the composition table is

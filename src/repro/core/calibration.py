@@ -801,6 +801,7 @@ def stability_experiment(
             repetitions=repetitions,
             noise=noise,
             pre_trial=pre_trial,
+            spy=spy,
         )
     else:
         trial_pool = pool if pool is not None else TrialPool(workers)

@@ -82,6 +82,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import kernels
 from repro.core.calibration import BlockAssessment, TrialPlan, _dominant_counts
 from repro.core.randomizer import CompiledBlock
 from repro.cpu.core import PhysicalCore
@@ -173,9 +174,13 @@ def _read_levels(
     t_sorted = node_t[order]
 
     # Every node's map-jump distance from the previous node of the same
-    # entry is static, so each node compiles to a jump row G (identity
-    # when no map ticked) via shared binary-lifting of the per-entry
-    # transition rows.
+    # entry is static, so each node compiles to a jump row (identity
+    # when no map ticked); the lifting, the per-node transfer (jump
+    # followed by the node's own FSM step — noise nudge or
+    # read-then-execute update) and the segmented prefix scan all live
+    # in :func:`repro.kernels.read_levels_maps` (binary lifting +
+    # Hillis-Steele on the numpy backend, one sequential walk per entry
+    # segment on the compiled ones — identical level chains either way).
     n_nodes = len(order)
     first = np.ones(n_nodes, dtype=bool)
     first[1:] = p_sorted[1:] != p_sorted[:-1]
@@ -183,64 +188,27 @@ def _read_levels(
     prev_t[0] = 0
     prev_t[1:] = t_sorted[:-1]
     prev_t[first] = 0
-    # Row-times-column gathers are fused into single flat fancy-index
-    # reads throughout — the arrays are C-contiguous (entry, level)
-    # tables, so ``flat[row * L + col]`` skips an intermediate copy and
-    # ``take_along_axis``'s broadcasting setup on every hot op.
-    n_levels = transition_map.shape[1]
-    jump = np.tile(np.arange(n_levels, dtype=np.int64), (n_nodes, 1))
-    lift = np.ascontiguousarray(transition_map[tracked].astype(np.int64))
-    lift_base = np.arange(n_tracked, dtype=np.int64)[:, None] * n_levels
     remaining = t_sorted - prev_t
-    while remaining.any():
-        apply = (remaining & 1).astype(bool)
-        if apply.any():
-            jump[apply] = lift.ravel()[
-                p_sorted[apply, None] * n_levels + jump[apply]
-            ]
-        remaining = remaining >> 1
-        if remaining.any():
-            lift = lift.ravel()[lift_base + lift]
-
-    # Full per-node transfer row: the jump followed by the node's own
-    # FSM step (noise nudge or read-then-execute update).
+    n_levels = transition_map.shape[1]
+    is_read = node_read[order]
+    node_sel = node_out[order] + 2 * is_read
+    out_slot = np.where(is_read.astype(bool), node_slot[order], -1)
     step4 = np.ascontiguousarray(
         np.concatenate([step_noise, step_exec]).astype(np.int64)
     )
-    is_read = node_read[order]
-    transfer = step4.ravel()[
-        (node_out[order] + 2 * is_read)[:, None] * n_levels + jump
-    ]
-
-    # Segmented inclusive scan (Hillis-Steele): after it, transfer[i]
-    # composes every node of i's entry from the segment start through i.
-    # Fancy assignment evaluates its right-hand side before writing, so
-    # both operands read the pre-round rows.
-    stride = 1
-    while stride < n_nodes:
-        valid = p_sorted[stride:] == p_sorted[:-stride]
-        if not valid.any():
-            break
-        upd = np.nonzero(valid)[0] + stride
-        transfer[upd] = transfer.ravel()[
-            upd[:, None] * n_levels + transfer[upd - stride]
-        ]
-        stride <<= 1
-
-    # A node's incoming level is its predecessor's outgoing level (the
-    # entry's initial level for segment heads); the read value is that
-    # level pushed through the node's own jump.
     v0 = initial_levels[tracked].astype(np.int64)[p_sorted]
-    arange_n = np.arange(n_nodes)
-    after = transfer[arange_n, v0]
-    before = np.empty(n_nodes, dtype=np.int64)
-    before[0] = 0
-    before[1:] = after[:-1]
-    incoming = np.where(first, v0, before)
-    values = jump[arange_n, incoming]
-    reads = is_read.astype(bool)
-    read_flat = np.zeros(R2 * n_slots, dtype=np.int64)
-    read_flat[node_slot[order][reads]] = values[reads]
+    read_flat = kernels.read_levels_maps(
+        np.ascontiguousarray(transition_map[tracked].astype(np.int64)),
+        p_sorted,
+        remaining,
+        node_sel,
+        first,
+        v0,
+        out_slot,
+        step4.ravel(),
+        n_levels,
+        R2 * n_slots,
+    )
     return read_flat.reshape(R2, n_slots).tolist()
 
 

@@ -38,18 +38,24 @@ Two layers:
   factory-RNG stream position), which the differential suite pins.
 
 Exactness boundary (mirrors the batch engine's, plus the shared-plan
-requirement): any installed mitigation, a noise model that can produce
-an empty gap (the closed-form GHR then depends on the block's
-``ghr_end``), a nondeterministic core factory, or distinct
-bimodal/gshare FSM instances all route the affected trials to the
-caller-supplied scalar trial function, counted via
+requirement): a campaign-wide mitigation or value-*unequal* FSM specs
+route every trial to the caller-supplied scalar trial function.  A
+nondeterministic core factory or distinct-but-equal FSM instances no
+longer force that: the pool partitions payloads by *structure
+signature* (initial predictor state, plan bytes, post-draw RNG
+position, FSM spec) and runs one :class:`_SharedStructure` per
+multi-member group, falling back per payload only for
+singleton-degenerate groups, per-payload mitigations, or empty noise
+gaps.  Every fallback is counted via
 :func:`repro.obs.trace.record_scalar_fallback` under engine
-``"manycore"`` — graceful and exact, never silent.
+``"manycore"`` — graceful and exact, never silent — and the dispatch
+split is observable through :func:`group_batch_stats`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+import hashlib
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -57,11 +63,13 @@ from repro.core.batch_probe import batch_scan_supported
 from repro.core.calibration import (
     BlockAssessment,
     TrialPlan,
+    assess_block_batch,
     draw_trial_plan,
 )
 from repro.core.calibration_batch import _closed_form
 from repro.core.randomizer import CompiledBlock, RandomizationBlock
 from repro.cpu.core import PhysicalCore
+from repro import kernels
 from repro.cpu.process import Process
 from repro.obs import trace as obs
 from repro.parallel import spawn_rngs
@@ -72,7 +80,9 @@ __all__ = [
     "ManycoreState",
     "ManycoreCampaignPool",
     "ManycoreFindPool",
+    "group_batch_stats",
     "manycore_supported",
+    "reset_group_batch_stats",
 ]
 
 #: Probe-pattern strings by code ``miss_first * 2 + miss_second``; the
@@ -85,6 +95,38 @@ _PATTERNS = ("HH", "HM", "MH", "MM")
 #: phase-2 id arrays are ``(chunk, n_nodes)`` int64) while amortising
 #: the per-chunk gather setup.
 DEFAULT_CHUNK = 64
+
+#: Always-on counters for the heterogeneous-group dispatcher, mirrored
+#: into run manifests by ``benchmarks/_common.py``.
+_GROUP_STATS: Dict[str, int] = {
+    "campaigns": 0,
+    "map_calls": 0,
+    "payloads": 0,
+    "shared": 0,
+    "grouped": 0,
+    "scalar": 0,
+    "groups": 0,
+    "singleton_groups": 0,
+    "workspace_reuses": 0,
+}
+
+
+def group_batch_stats() -> Dict[str, int]:
+    """Snapshot of the campaign-pool dispatch counters.
+
+    ``shared``/``grouped``/``scalar`` partition every payload that went
+    through a :class:`ManycoreCampaignPool` by how it executed: the
+    single-structure fast path, a multi-member heterogeneous group, or a
+    per-payload replica/delegated trial.  ``groups`` counts multi-member
+    groups built, ``singleton_groups`` the degenerate ones that fell
+    back, and ``workspace_reuses`` chunk-buffer reuses across groups.
+    """
+    return dict(_GROUP_STATS)
+
+
+def reset_group_batch_stats() -> None:
+    for key in _GROUP_STATS:
+        _GROUP_STATS[key] = 0
 
 
 def _fast_mod(values: np.ndarray, n: int) -> np.ndarray:
@@ -343,42 +385,21 @@ def _fold_tracked_ids(
 ) -> np.ndarray:
     """Per-tracked-entry monoid id of one block's outcome fold.
 
-    ``positions[i]`` is the tracked-entry position branch ``i`` hits (in
-    program order, already filtered to tracked entries); the result maps
-    each tracked position to the id of its composed transition map
-    (identity for untouched positions).  Same segmented Hillis-Steele
-    scan as :meth:`~repro.bpu.fsm.TransitionMonoid.fold_table`, but the
-    sort runs on small position integers — a radix sort for the int16
-    common case, which is what keeps the per-block summary cheap.
+    ``positions[i]`` is the tracked-entry position branch ``i`` hits in
+    program order (``-1`` to skip a branch); the result maps each
+    tracked position to the id of its composed transition map (identity
+    for untouched positions).  Dispatches through
+    :func:`repro.kernels.fold_ids` — the same fold as
+    :meth:`~repro.bpu.fsm.TransitionMonoid.fold_table`, segmented scan
+    or compiled accumulator depending on the active backend.
     """
-    ids = np.full(n_tracked, monoid.IDENTITY, dtype=np.int64)
-    n = len(positions)
-    if n == 0:
-        return ids
-    if n_tracked <= np.iinfo(np.int16).max:
-        sort_key = positions.astype(np.int16)
-    else:
-        sort_key = positions
-    order = np.argsort(sort_key, kind="stable")
-    seg = positions[order]
-    vals = monoid.outcome_id_sequence(outcomes)[order].astype(np.int64)
-    # Sparse segmented Hillis-Steele: same recurrence as fold_table, but
-    # only the positions whose stride-neighbour shares their segment are
-    # touched (segments are short, so late strides update almost
-    # nothing), and once a stride exceeds the longest segment no larger
-    # stride can match either.
-    offset = 1
-    while offset < n:
-        same = np.nonzero(seg[offset:] == seg[:-offset])[0] + offset
-        if not len(same):
-            break
-        vals[same] = monoid.compose_table[vals[same - offset], vals[same]]
-        offset *= 2
-    last = np.empty(n, dtype=bool)
-    last[-1] = True
-    last[:-1] = seg[1:] != seg[:-1]
-    ids[seg[last]] = vals[last]
-    return ids
+    return kernels.fold_ids(
+        np.asarray(positions, dtype=np.int64),
+        monoid.outcome_id_sequence(outcomes).astype(np.int64),
+        monoid.compose_table,
+        int(n_tracked),
+        monoid.IDENTITY,
+    )
 
 
 class _NodePlan:
@@ -492,23 +513,17 @@ class _NodePlan:
         self.p_sorted = p_sorted
         self.remaining = remaining
 
-        # Segmented-scan schedule: update positions per doubling stride.
-        self.scan_schedule: List[np.ndarray] = []
-        stride = 1
-        while stride < self.n_nodes:
-            valid = p_sorted[stride:] == p_sorted[:-stride]
-            if not valid.any():
-                break
-            self.scan_schedule.append(np.nonzero(valid)[0] + stride)
-            stride <<= 1
-        self._strides = [1 << k for k in range(len(self.scan_schedule))]
-
         self.step_ids = monoid.outcome_ids[node_out[order]].astype(np.int64)
         self.v0_nodes = initial_levels[tracked].astype(np.int64)[p_sorted]
         self.first = first
+        # Flat output slot per node, -1 for non-read (noise) nodes; the
+        # kernel layer derives its scatter/schedule from this and
+        # memoises per-plan state in ``_kcache``.
         reads = node_read[order] == 1
-        self.read_positions = np.nonzero(reads)[0]
-        self.read_slots = node_slot[order][reads]
+        out_slot = np.full(self.n_nodes, -1, dtype=np.int64)
+        out_slot[reads] = node_slot[order][reads]
+        self.out_slot = out_slot
+        self._kcache: dict = {}
 
     def read_levels(self, lift0: np.ndarray) -> np.ndarray:
         """Read-before-write levels for a chunk of instances.
@@ -516,30 +531,27 @@ class _NodePlan:
         ``lift0`` is ``(chunk, n_tracked)`` monoid ids — each instance's
         block fold per tracked entry; the result is
         ``(chunk, R2, n_slots)`` levels, matching ``_read_levels`` row
-        for row.
+        for row (dispatched through :func:`repro.kernels.read_levels_ids`).
         """
         chunk = lift0.shape[0]
-        ct = self._ct_flat
-        size = self._ct_size
-        jump = self._pow_flat[
-            lift0[:, self.p_sorted] * self._pow_k + self.remaining[None, :]
-        ]
-        transfer = ct[jump * size + self.step_ids[None, :]]
-        for stride, upd in zip(self._strides, self.scan_schedule):
-            transfer[:, upd] = ct[
-                transfer[:, upd - stride] * size + transfer[:, upd]
-            ]
-        maps = self._maps_flat
-        n_levels = self._n_levels
-        after = maps[transfer * n_levels + self.v0_nodes[None, :]]
-        before = np.empty_like(after)
-        before[:, 0] = 0
-        before[:, 1:] = after[:, :-1]
-        incoming = np.where(self.first[None, :], self.v0_nodes[None, :], before)
-        values = maps[jump * n_levels + incoming]
         R2, n_slots = self.shape
-        read_flat = np.zeros((chunk, R2 * n_slots), dtype=np.int64)
-        read_flat[:, self.read_slots] = values[:, self.read_positions]
+        read_flat = kernels.read_levels_ids(
+            np.ascontiguousarray(lift0, dtype=np.int64),
+            self.p_sorted,
+            self.remaining,
+            self.step_ids,
+            self.first,
+            self.v0_nodes,
+            self.out_slot,
+            self._pow_flat,
+            self._pow_k,
+            self._ct_flat,
+            self._ct_size,
+            self._maps_flat,
+            self._n_levels,
+            R2 * n_slots,
+            cache=self._kcache,
+        )
         return read_flat.reshape(chunk, R2, n_slots)
 
 
@@ -653,6 +665,13 @@ class _SharedStructure:
         self.sel1_up = np.minimum(sel1 + 1, self.sel_max)
         self.sel1_down = np.maximum(sel1 - 1, 0)
         self.out_rows = outcomes.tolist()
+        # Invariants of the scalar replay chain, hoisted once per
+        # campaign: plain-int lists beat per-repetition numpy scalar
+        # indexing by an order of magnitude in the untouched-selector
+        # loop.
+        self.drift_list = [int(v) for v in drift]
+        self.noise_list = [int(v) for v in noise_tag]
+        self._oid = self.monoid.outcome_ids.astype(np.int64)
 
     # -- per-trial summary --------------------------------------------------
 
@@ -668,31 +687,29 @@ class _SharedStructure:
         block = RandomizationBlock.generate(
             seed, n_branches=self.block_branches
         )
-        addresses = block.addresses
-        outcomes = block.outcomes
-        monoid = self.monoid
-
-        on_target = _fast_mod(addresses, self.n_b) == self.tb
-        bim_id = monoid.reduce(monoid.outcome_id_sequence(outcomes[on_target]))
-
-        trajectory = block.ghr_trajectory(self.ghr_len)
-        g_indices = _fast_mod(addresses ^ trajectory, self.n_g).astype(np.int64)
-        pos = self.plan_g.pos_table[g_indices]
-        tracked_mask = pos >= 0
-        g_ids = _fold_tracked_ids(
-            monoid, pos[tracked_mask], outcomes[tracked_mask],
+        # Fused kernel: one pass walks the GHR shift register, folds the
+        # target bimodal entry and every tracked gshare entry in monoid
+        # id space, and spots the selector/BIT touches (the numpy
+        # backend runs the same reductions as separate vectorised
+        # passes — bit-identical either way).
+        return kernels.summarize_block(
+            block.addresses,
+            block.outcomes,
+            self._oid,
+            self.monoid.compose_table,
+            self.n_b,
+            self.tb,
+            self.n_g,
+            self.plan_g.pos_table,
+            self.ghr_len,
+            self.n_sel,
+            self.tsel,
+            self.n_sets,
+            self.tset,
+            self.tag_mask,
             self.plan_g.n_tracked,
+            self.monoid.IDENTITY,
         )
-
-        tsel_touched = bool((_fast_mod(addresses, self.n_sel) == self.tsel).any())
-        covering = np.nonzero(_fast_mod(addresses, self.n_sets) == self.tset)[0]
-        if len(covering):
-            block_tag = int(
-                (addresses[covering[-1]] // self.n_sets) & self.tag_mask
-            )
-        else:
-            block_tag = -1
-        return int(bim_id), g_ids, tsel_touched, block_tag
 
     # -- phase 3 ------------------------------------------------------------
 
@@ -701,7 +718,12 @@ class _SharedStructure:
     ) -> np.ndarray:
         """Sequential prediction chain for one *untouched-selector*
         instance — the rare case where chooser state carries across
-        repetitions, replayed exactly as the batch engine's phase 3."""
+        repetitions, replayed exactly as the batch engine's phase 3.
+
+        All campaign-invariant state (predict booleans, drift and noise
+        tags as plain-int lists) is hoisted into ``__init__``; this loop
+        only touches python ints and pre-listed rows.
+        """
         predicts = self.predicts_list
         d = self.d
         sel_initial = self.sel_initial
@@ -711,11 +733,14 @@ class _SharedStructure:
         sel_val = self.sel_val0
         bit_valid = self.bit_valid0
         bit_tag = self.bit_tag0
+        drift_list = self.drift_list
+        noise_list = self.noise_list
+        out_rows = self.out_rows
         codes = np.empty(self.R2, dtype=np.int64)
         b_rows = row_b.tolist()
         g_rows = row_g.tolist()
         for r in range(self.R2):
-            row_out = self.out_rows[r]
+            row_out = out_rows[r]
             rb = b_rows[r]
             rg = g_rows[r]
             for j in range(d):
@@ -736,11 +761,11 @@ class _SharedStructure:
             if block_tag >= 0:
                 bit_valid = True
                 bit_tag = block_tag
-            value = sel_val + int(self.drift_tsel[r])
+            value = sel_val + drift_list[r]
             sel_val = 0 if value < 0 else (3 if value > 3 else value)
-            if self.noise_tag[r] >= 0:
+            if noise_list[r] >= 0:
                 bit_valid = True
-                bit_tag = int(self.noise_tag[r])
+                bit_tag = noise_list[r]
             code = 0
             for slot, j in enumerate((d, d + 1)):
                 taken = bool(row_out[j])
@@ -771,14 +796,43 @@ class _SharedStructure:
         return codes
 
     def assess_chunk(
-        self, seeds: Sequence[int], pre_trial: Optional[Callable[[int], None]]
+        self,
+        seeds: Sequence[int],
+        pre_trial: Optional[Callable[[int], None]],
+        workspace: Optional[dict] = None,
     ) -> List[BlockAssessment]:
-        """Assess one chunk of block seeds through the stacked pipeline."""
+        """Assess one chunk of block seeds through the stacked pipeline.
+
+        ``workspace`` is an optional caller-held dict of scratch buffers
+        reused across chunks *and across structures* whenever the
+        geometry ``(chunk, n_tracked, R2)`` matches — every buffer is
+        fully overwritten before it is read, so reuse is exact.  The
+        grouped dispatcher passes one workspace across all its groups.
+        """
         chunk = len(seeds)
-        lift_b = np.empty((chunk, 1), dtype=np.int64)
-        lift_g = np.empty((chunk, self.plan_g.n_tracked), dtype=np.int64)
-        touched = np.empty(chunk, dtype=bool)
-        block_tags = np.empty(chunk, dtype=np.int64)
+        geometry = (chunk, self.plan_g.n_tracked, self.R2)
+        if workspace is not None and workspace.get("geometry") == geometry:
+            lift_b = workspace["lift_b"]
+            lift_g = workspace["lift_g"]
+            touched = workspace["touched"]
+            block_tags = workspace["block_tags"]
+            codes = workspace["codes"]
+            _GROUP_STATS["workspace_reuses"] += 1
+        else:
+            lift_b = np.empty((chunk, 1), dtype=np.int64)
+            lift_g = np.empty((chunk, self.plan_g.n_tracked), dtype=np.int64)
+            touched = np.empty(chunk, dtype=bool)
+            block_tags = np.empty(chunk, dtype=np.int64)
+            codes = np.empty((chunk, self.R2), dtype=np.int64)
+            if workspace is not None:
+                workspace.update(
+                    geometry=geometry,
+                    lift_b=lift_b,
+                    lift_g=lift_g,
+                    touched=touched,
+                    block_tags=block_tags,
+                    codes=codes,
+                )
         for i, seed in enumerate(seeds):
             if pre_trial is not None:
                 pre_trial(seed)
@@ -791,7 +845,6 @@ class _SharedStructure:
         read_b = self.plan_b.read_levels(lift_b)
         read_g = self.plan_g.read_levels(lift_g)
         d = self.d
-        codes = np.empty((chunk, self.R2), dtype=np.int64)
 
         fast = np.nonzero(touched)[0]
         if len(fast):
@@ -895,9 +948,25 @@ class ManycoreCampaignPool:
     Drop-in for the ``pool`` seat of
     :func:`~repro.core.calibration.stability_experiment`: ``map(fn,
     seeds)`` returns the bit-identical :class:`BlockAssessment` list the
-    scalar trial closure ``fn`` would produce, computing it through the
-    shared-structure engine when supported and calling ``fn`` per
-    payload otherwise (counted as a ``"manycore"`` scalar fallback).
+    scalar trial closure ``fn`` would produce.  Three dispatch modes,
+    chosen once per campaign:
+
+    * ``"shared"`` — deterministic factory, one FSM instance, no empty
+      noise gap: the classic single-:class:`_SharedStructure` fast path.
+    * ``"grouped"`` — a nondeterministic factory or distinct (but
+      value-equal) bimodal/gshare FSM instances no longer force a
+      per-payload fallback.  Each payload builds its own core, draws its
+      own plan, and payloads whose *structure signature* (initial
+      predictor state, plan bytes, post-draw RNG position, FSM spec)
+      matches share one :class:`_SharedStructure`; groups run
+      back-to-back reusing the chunk workspace when geometry matches.
+      Only singleton-degenerate groups (and per-payload mitigations /
+      empty gaps) replay the reference trial per payload, counted as
+      ``"manycore"`` scalar fallbacks.
+    * ``"fn"`` — a campaign-wide mitigation, value-unequal FSM specs, or
+      a deterministic plan with an empty noise gap: full delegation to
+      the caller's trial closure, counted per payload.
+
     Composes with :class:`~repro.resilience.ResumableCampaign`
     unchanged — assessments are pure functions of the block seed either
     way, so checkpoints written by one backend resume under the other.
@@ -913,6 +982,7 @@ class ManycoreCampaignPool:
         noise: Optional[NoiseModel] = None,
         pre_trial: Optional[Callable[[int], None]] = None,
         chunk_size: int = DEFAULT_CHUNK,
+        spy: Optional[Process] = None,
     ) -> None:
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
@@ -926,47 +996,252 @@ class ManycoreCampaignPool:
         self._shared: Optional[_SharedStructure] = None
         self._fallback_reason: Optional[str] = None
         self._built = False
+        self._mode: Optional[str] = None
+        self._banked: List[PhysicalCore] = []
+        self._spy = spy
 
     @property
     def rng_digest(self) -> Optional[str]:
-        """Stream-position digest every trial's factory RNG ends at."""
+        """Stream-position digest every trial's factory RNG ends at.
+
+        ``None`` outside ``"shared"`` mode — grouped campaigns have one
+        stream position per structure group, not one per campaign.
+        """
         self._ensure_built()
         return self._shared.rng_digest if self._shared else None
+
+    def _get_spy(self) -> Process:
+        if self._spy is None:
+            self._spy = Process("manycore-spy")
+        return self._spy
 
     def _ensure_built(self) -> None:
         if self._built:
             return
         self._built = True
+        _GROUP_STATS["campaigns"] += 1
         template = self.core_factory()
         reason = manycore_supported(template)
+        if reason == "mitigation":
+            # Index/observation hooks must run inside the caller's
+            # closure (they may be stateful across the whole trial);
+            # delegate wholesale.
+            self._mode = "fn"
+            self._fallback_reason = reason
+            return
+        if reason == "unshared_structure":
+            # Distinct FSM *instances* with equal specs share a monoid,
+            # so the grouped engine handles them; unequal specs would
+            # give the two PHTs different transition algebra — delegate.
+            predictor = template.predictor
+            if predictor.bimodal.pht.fsm == predictor.gshare.pht.fsm:
+                self._mode = "grouped"
+                self._banked = [template]
+            else:
+                self._mode = "fn"
+                self._fallback_reason = reason
+            return
+        # Template is individually supported; a nondeterministic factory
+        # breaks the shared-plan premise but not the grouped one.  One
+        # extra factory call per campaign buys the check.
+        digest0 = rng_state_digest(template.rng)
+        probe = self.core_factory()
+        if (
+            rng_state_digest(probe.rng) != digest0
+            or probe.config.name != template.config.name
+        ):
+            self._mode = "grouped"
+            self._banked = [template, probe]
+            return
+        plan = draw_trial_plan(
+            template.rng,
+            template,
+            repetitions=self.repetitions,
+            noise=self.noise,
+        )
+        gaps = plan.offsets[1:] - plan.offsets[:-1]
+        reason = manycore_supported(template, gaps)
         if reason is None:
-            # A nondeterministic factory breaks the shared-plan premise;
-            # one extra factory call per campaign buys the check.
-            digest0 = rng_state_digest(template.rng)
-            probe = self.core_factory()
-            if (
-                rng_state_digest(probe.rng) != digest0
-                or probe.config.name != template.config.name
-            ):
-                reason = "nondeterministic_factory"
-        if reason is None:
-            plan = draw_trial_plan(
-                template.rng,
+            self._mode = "shared"
+            self._shared = _SharedStructure(
                 template,
-                repetitions=self.repetitions,
-                noise=self.noise,
+                self.target_address,
+                plan,
+                rng_state_digest(template.rng),
+                self.block_branches,
+            )
+        else:
+            self._mode = "fn"
+            self._fallback_reason = reason
+
+    # -- grouped mode ------------------------------------------------------
+
+    def _payload_reason(self, core: PhysicalCore) -> Optional[str]:
+        """Per-payload inexactness reason inside a grouped campaign."""
+        if len(core.mitigations) > 0 or not batch_scan_supported(core):
+            return "mitigation"
+        if core.predictor.bimodal.pht.fsm != core.predictor.gshare.pht.fsm:
+            return "unshared_structure"
+        return None
+
+    def _replica_trial(self, core: PhysicalCore, seed: int) -> BlockAssessment:
+        """The reference trial closure, replayed on an already-built core.
+
+        Exact generate -> compile -> plan-draw order of
+        :func:`~repro.core.calibration.stability_experiment`'s closure,
+        so a mitigated core's compile-time RNG draws land on the same
+        stream positions.
+        """
+        block = RandomizationBlock.generate(
+            seed, n_branches=self.block_branches
+        )
+        compiled = block.compile(core, self._get_spy())
+        plan = draw_trial_plan(
+            core.rng, core, repetitions=self.repetitions, noise=self.noise
+        )
+        return assess_block_batch(
+            core, self._get_spy(), compiled, self.target_address, plan=plan
+        )
+
+    def _replica_assess(
+        self, core: PhysicalCore, seed: int, plan: TrialPlan
+    ) -> BlockAssessment:
+        """Reference trial with the plan already drawn.
+
+        An unmitigated compile makes no core-RNG draws, so drawing the
+        plan before generate/compile (as the grouping pass must, to
+        signature payloads) is stream-equivalent to the reference order.
+        """
+        block = RandomizationBlock.generate(
+            seed, n_branches=self.block_branches
+        )
+        compiled = block.compile(core, self._get_spy())
+        return assess_block_batch(
+            core, self._get_spy(), compiled, self.target_address, plan=plan
+        )
+
+    def _structure_signature(
+        self, core: PhysicalCore, plan: TrialPlan
+    ) -> Tuple:
+        """Hashable key: two payloads share a group iff they would build
+        bit-identical :class:`_SharedStructure`\\ s and leave their
+        factory RNGs at the same position."""
+        predictor = core.predictor
+        h = hashlib.blake2b(digest_size=16)
+        for arr in (
+            predictor.bimodal.pht.levels,
+            predictor.gshare.pht.levels,
+            predictor.selector.counters,
+            predictor.bit.valid,
+            predictor.bit.tags,
+            plan.scrambles,
+            plan.offsets,
+            plan.bulk.addresses,
+            plan.bulk.outcomes,
+            plan.bulk.gshare_indices,
+            plan.bulk.nudges,
+        ):
+            a = np.ascontiguousarray(arr)
+            h.update(str(a.shape).encode())
+            h.update(a.tobytes())
+        h.update(
+            str(
+                (
+                    core.config.name,
+                    int(predictor.ghr.value),
+                    predictor.ghr.length,
+                    predictor.bimodal.pht.n_entries,
+                    predictor.gshare.pht.n_entries,
+                    predictor.selector.n_entries,
+                    predictor.bit.n_sets,
+                )
+            ).encode()
+        )
+        h.update(rng_state_digest(core.rng).encode())
+        return (predictor.bimodal.pht.fsm, h.hexdigest())
+
+    def _map_grouped(self, payloads: List[int]) -> List[BlockAssessment]:
+        results: List[Optional[BlockAssessment]] = [None] * len(payloads)
+        groups: Dict[Tuple, dict] = {}
+        for idx, seed in enumerate(payloads):
+            if self.pre_trial is not None:
+                self.pre_trial(seed)
+            core = (
+                self._banked.pop(0) if self._banked else self.core_factory()
+            )
+            reason = self._payload_reason(core)
+            if reason is not None:
+                obs.record_scalar_fallback("manycore", reason)
+                _GROUP_STATS["scalar"] += 1
+                results[idx] = self._replica_trial(core, seed)
+                continue
+            plan = draw_trial_plan(
+                core.rng, core, repetitions=self.repetitions, noise=self.noise
             )
             gaps = plan.offsets[1:] - plan.offsets[:-1]
-            reason = manycore_supported(template, gaps)
-            if reason is None:
-                self._shared = _SharedStructure(
-                    template,
-                    self.target_address,
-                    plan,
-                    rng_state_digest(template.rng),
-                    self.block_branches,
+            if bool((gaps == 0).any()):
+                obs.record_scalar_fallback("manycore", "unshared_structure")
+                _GROUP_STATS["scalar"] += 1
+                results[idx] = self._replica_assess(core, seed, plan)
+                continue
+            key = self._structure_signature(core, plan)
+            group = groups.setdefault(
+                key,
+                {"core": core, "plan": plan, "digest": key[1], "members": []},
+            )
+            group["members"].append((idx, seed))
+
+        workspace: dict = {}
+        n_groups = 0
+        for group in groups.values():
+            members = group["members"]
+            if len(members) == 1:
+                # Building a full shared structure for one payload costs
+                # more than it saves; the replica path is exact.
+                idx, seed = members[0]
+                obs.record_scalar_fallback("manycore", "singleton_group")
+                _GROUP_STATS["scalar"] += 1
+                _GROUP_STATS["singleton_groups"] += 1
+                results[idx] = self._replica_assess(
+                    group["core"], seed, group["plan"]
                 )
-        self._fallback_reason = reason
+                continue
+            n_groups += 1
+            _GROUP_STATS["groups"] += 1
+            _GROUP_STATS["grouped"] += len(members)
+            shared = _SharedStructure(
+                group["core"],
+                self.target_address,
+                group["plan"],
+                group["digest"],
+                self.block_branches,
+            )
+            seeds = [seed for _, seed in members]
+            assessed: List[BlockAssessment] = []
+            for start in range(0, len(seeds), self.chunk_size):
+                assessed.extend(
+                    shared.assess_chunk(
+                        seeds[start:start + self.chunk_size],
+                        None,
+                        workspace=workspace,
+                    )
+                )
+            for (idx, _), assessment in zip(members, assessed):
+                results[idx] = assessment
+
+        tracer = obs.TRACER
+        if tracer is not None:
+            tracer.emit(
+                "calibration",
+                "manycore_group_dispatch",
+                address=self.target_address,
+                trials=len(payloads),
+                groups=n_groups,
+                singletons=sum(
+                    1 for g in groups.values() if len(g["members"]) == 1
+                ),
+            )
+        return results
 
     def map(self, fn: Callable[[int], BlockAssessment], payloads) -> List:
         """``[fn(seed) for seed in payloads]`` through the SoA engine."""
@@ -974,12 +1249,18 @@ class ManycoreCampaignPool:
         if not payloads:
             return []
         self._ensure_built()
+        _GROUP_STATS["map_calls"] += 1
+        _GROUP_STATS["payloads"] += len(payloads)
+        if self._mode == "grouped":
+            return self._map_grouped(payloads)
         if self._shared is None:
             obs.record_scalar_fallback(
                 "manycore", self._fallback_reason or "unsupported",
                 n=len(payloads),
             )
+            _GROUP_STATS["scalar"] += len(payloads)
             return [fn(payload) for payload in payloads]
+        _GROUP_STATS["shared"] += len(payloads)
         tracer = obs.TRACER
         if tracer is not None:
             tracer.emit(

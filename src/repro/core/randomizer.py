@@ -67,6 +67,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import kernels
 from repro.cpu.core import BranchExecution, PhysicalCore
 from repro.cpu.counters import CounterKind
 from repro.cpu.process import Process
@@ -257,11 +258,15 @@ class RandomizationBlock:
 
         Results are memoised in a process-wide LRU cache keyed on
         ``(block fingerprint, core config, key, partition, timing
-        model)`` — everything the compiled artifact depends on — so the
-        §6.2 calibration search and the covert-channel benches stop
-        recompiling identical blocks.  Cached :class:`CompiledBlock`
-        instances are immutable and safe to share across cores of the
-        same configuration.
+        model, kernel backend)`` — everything the compiled artifact
+        depends on — so the §6.2 calibration search and the
+        covert-channel benches stop recompiling identical blocks.
+        Backends are bit-identical, but keying on the active one keeps a
+        ``set_backend`` switch mid-process honest: a cached artifact is
+        always attributable to the backend that built it, which is what
+        the per-backend differential suite pins.  Cached
+        :class:`CompiledBlock` instances are immutable and safe to share
+        across cores of the same configuration.
         """
         key = core.mitigations.pht_key(process)
         partition = core.mitigations.partition(process)
@@ -271,6 +276,7 @@ class RandomizationBlock:
             key,
             partition,
             core.timing,
+            kernels.active_backend(),
         )
         cached = _compile_cache.get(cache_key)
         if cached is not None:

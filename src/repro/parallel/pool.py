@@ -71,6 +71,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import kernels
 from repro.obs import trace as obs
 
 __all__ = [
@@ -225,6 +226,9 @@ def _chunk_worker(conn, heartbeat, chunk_index: int, attempt: int,
     """
     fn = _ACTIVE_FN
     assert fn is not None, "worker forked without an active trial function"
+    # No-op when the parent warmed the kernel layer before forking; a
+    # backstop for workers whose parent skipped it (direct use).
+    kernels.ensure_initialized()
     injector = _ACTIVE_INJECTOR
     fault = injector.decide(chunk_index, attempt) if injector else None
     if fault == "crash":
@@ -458,6 +462,10 @@ class TrialPool:
                 workers=workers,
             )
         dispatch_start = time.perf_counter()
+        # Resolve and JIT/load the kernel backend once in the parent so
+        # every forked worker inherits a warm backend instead of racing
+        # to build the compiled module N times.
+        kernels.warmup()
         _ACTIVE_FN = fn
         _ACTIVE_INJECTOR = self.fault_injector
         try:

@@ -1,0 +1,403 @@
+"""Kernel backends and heterogeneous-group batching: differential suite.
+
+Two contracts are pinned here:
+
+* **Backend bit-identity** — every available kernel backend (numpy,
+  numba, cffi) returns bit-identical results for every op, on every
+  shipped preset, and no op moves any RNG stream, so assessments *and*
+  stream-position digests are backend-independent.
+* **Grouped == per-trial** — a mixed-structure campaign routed through
+  the heterogeneous-group dispatcher equals the per-trial process
+  reference payload for payload, including under checkpoint
+  kill/resume, with every degenerate payload counted as a fallback.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.bpu.presets import haswell, sandy_bridge, skylake
+from repro.core.calibration import (
+    assess_block_batch,
+    stability_experiment,
+)
+from repro.core.manycore import (
+    ManycoreCampaignPool,
+    group_batch_stats,
+    manycore_supported,
+    reset_group_batch_stats,
+)
+from repro.core.randomizer import (
+    RandomizationBlock,
+    clear_compile_cache,
+    compile_cache_info,
+)
+from repro.cpu.core import PhysicalCore
+from repro.cpu.process import Process
+from repro.obs import trace as obs
+from repro.resilience.checkpoint import rng_state_digest
+from repro.system.noise import NoiseModel
+
+TARGET = 0x30_0006D
+
+ALL_PRESETS = [skylake, haswell, sandy_bridge]
+
+#: Backends that can load in this interpreter; numpy is always first.
+BACKENDS = kernels.available_backends()
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    obs.reset_scalar_fallbacks()
+    reset_group_batch_stats()
+    kernels.set_backend(None)
+    yield
+    kernels.set_backend(None)
+    obs.reset_scalar_fallbacks()
+
+
+def _monoid_inputs(preset, n=4096, n_out=37):
+    core = PhysicalCore(preset().scaled(16), seed=11)
+    monoid = core.predictor.bimodal.pht.fsm.transition_monoid()
+    rng = np.random.default_rng(42)
+    outcomes = rng.integers(0, 2, size=n).astype(bool)
+    ids = monoid.outcome_id_sequence(outcomes).astype(np.int64)
+    positions = rng.integers(-1, n_out, size=n).astype(np.int64)
+    return monoid, ids, positions
+
+
+class TestOpDifferential:
+    """Every op x every backend x every preset, against numpy."""
+
+    @pytest.mark.parametrize("preset", ALL_PRESETS)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_fold_and_reduce(self, preset, backend):
+        monoid, ids, positions = _monoid_inputs(preset)
+        kernels.set_backend("numpy")
+        ref_fold = np.asarray(
+            kernels.fold_ids(
+                positions, ids, monoid.compose_table, 37, monoid.IDENTITY
+            )
+        )
+        ref_reduce = int(
+            kernels.reduce_ids(ids, monoid.compose_table, monoid.IDENTITY)
+        )
+        assert kernels.set_backend(backend) == backend
+        got_fold = np.asarray(
+            kernels.fold_ids(
+                positions, ids, monoid.compose_table, 37, monoid.IDENTITY
+            )
+        )
+        got_reduce = int(
+            kernels.reduce_ids(ids, monoid.compose_table, monoid.IDENTITY)
+        )
+        assert got_reduce == ref_reduce
+        assert np.array_equal(got_fold, ref_fold)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_fold_edge_cases(self, backend):
+        monoid, ids, _ = _monoid_inputs(skylake, n=64)
+        kernels.set_backend(backend)
+        none = np.empty(0, dtype=np.int64)
+        empty = np.asarray(
+            kernels.fold_ids(
+                none, none, monoid.compose_table, 5, monoid.IDENTITY
+            )
+        )
+        assert empty.shape == (5,) and (empty == monoid.IDENTITY).all()
+        skipped = np.asarray(
+            kernels.fold_ids(
+                np.full(64, -1, dtype=np.int64),
+                ids,
+                monoid.compose_table,
+                5,
+                monoid.IDENTITY,
+            )
+        )
+        assert (skipped == monoid.IDENTITY).all()
+        assert (
+            int(
+                kernels.reduce_ids(
+                    none, monoid.compose_table, monoid.IDENTITY
+                )
+            )
+            == monoid.IDENTITY
+        )
+
+    @pytest.mark.parametrize("preset", ALL_PRESETS)
+    def test_summarize_and_read_levels(self, preset):
+        pool = ManycoreCampaignPool(
+            lambda: PhysicalCore(preset().scaled(16), seed=7),
+            TARGET,
+            block_branches=2500,
+            repetitions=10,
+            noise=NoiseModel.noisy(),
+        )
+        pool._ensure_built()
+        shared = pool._shared
+        assert shared is not None
+        rng = np.random.default_rng(3)
+        lift = rng.integers(
+            0,
+            len(shared.monoid.maps),
+            size=(5, shared.plan_g.n_tracked),
+        ).astype(np.int64)
+        per_backend = {}
+        for backend in BACKENDS:
+            kernels.set_backend(backend)
+            summaries = [shared.summarize(seed) for seed in range(4)]
+            reads = shared.plan_g.read_levels(lift)
+            per_backend[backend] = (summaries, reads)
+        ref_summaries, ref_reads = per_backend["numpy"]
+        for backend in BACKENDS:
+            summaries, reads = per_backend[backend]
+            for got, ref in zip(summaries, ref_summaries):
+                assert int(got[0]) == int(ref[0])
+                assert np.array_equal(got[1], ref[1])
+                assert bool(got[2]) == bool(ref[2])
+                assert int(got[3]) == int(ref[3])
+            assert np.array_equal(reads, ref_reads)
+
+
+class TestEndToEndDifferential:
+    """Whole campaigns and trials are backend-independent, RNG included."""
+
+    @pytest.mark.parametrize("preset", ALL_PRESETS)
+    def test_campaign_and_stream_digest(self, preset):
+        config = preset().scaled(16)
+        factory = lambda: PhysicalCore(config, seed=7)  # noqa: E731
+        kwargs = dict(
+            n_blocks=8,
+            block_branches=2000,
+            repetitions=10,
+            noise=NoiseModel.isolated(),
+        )
+        results = {}
+        digests = {}
+        for backend in BACKENDS:
+            kernels.set_backend(backend)
+            results[backend] = stability_experiment(
+                factory, TARGET, backend="manycore", **kwargs
+            )
+            pool = ManycoreCampaignPool(
+                factory,
+                TARGET,
+                block_branches=2000,
+                repetitions=10,
+                noise=NoiseModel.isolated(),
+            )
+            digests[backend] = pool.rng_digest
+        for backend in BACKENDS:
+            assert results[backend] == results["numpy"]
+            assert digests[backend] == digests["numpy"]
+
+    @pytest.mark.parametrize("preset", ALL_PRESETS)
+    def test_batch_trial_and_core_rng(self, preset):
+        """The batch engine's replay (read_levels_maps) is also pinned,
+        along with the core RNG's final stream position."""
+        config = preset().scaled(16)
+        outs = {}
+        for backend in BACKENDS:
+            kernels.set_backend(backend)
+            core = PhysicalCore(config, seed=9)
+            spy = Process("spy")
+            block = RandomizationBlock.generate(5, n_branches=1500)
+            compiled = block.compile(core, spy)
+            assessment = assess_block_batch(
+                core,
+                spy,
+                compiled,
+                TARGET,
+                repetitions=8,
+                noise=NoiseModel.noisy(),
+            )
+            outs[backend] = (assessment, rng_state_digest(core.rng))
+        for backend in BACKENDS:
+            assert outs[backend] == outs["numpy"]
+
+
+class TestGroupedCampaigns:
+    """Heterogeneous-group batching == per-trial reference."""
+
+    def test_mixed_seed_factory_groups(self):
+        """Cores seeded 7,3,7,3,7,9 form groups {3, 2, 1}: the two
+        multi-member groups run shared, the singleton replays, and the
+        list equals the process backend running the same factory-call
+        sequence."""
+        config = skylake().scaled(16)
+        seq = [7, 3, 7, 3, 7, 9]
+
+        def make_factory():
+            seeds = iter(seq)
+            return lambda: PhysicalCore(config, seed=next(seeds))
+
+        kwargs = dict(
+            n_blocks=6,
+            block_branches=2000,
+            repetitions=8,
+            noise=NoiseModel.isolated(),
+            seed_start=20,
+        )
+        reference = stability_experiment(
+            make_factory(), TARGET, backend="process", **kwargs
+        )
+        obs.reset_scalar_fallbacks()
+        reset_group_batch_stats()
+        grouped = stability_experiment(
+            make_factory(), TARGET, backend="manycore", **kwargs
+        )
+        assert grouped == reference
+        assert obs.scalar_fallback_counts()["manycore"] == 1
+        stats = group_batch_stats()
+        assert stats["groups"] == 2
+        assert stats["grouped"] == 5
+        assert stats["singleton_groups"] == 1
+        assert stats["scalar"] == 1
+
+    def test_equal_spec_distinct_fsm_instances_grouped(self):
+        """Distinct FSM instances with value-equal specs — previously a
+        blanket per-payload fallback — now run as one shared group."""
+        config = skylake().scaled(16)
+
+        def factory():
+            core = PhysicalCore(config, seed=5)
+            pht = core.predictor.gshare.pht
+            pht.fsm = dataclasses.replace(pht.fsm)
+            return core
+
+        assert manycore_supported(factory()) == "unshared_structure"
+        kwargs = dict(
+            n_blocks=6,
+            block_branches=2000,
+            repetitions=8,
+            noise=NoiseModel.isolated(),
+        )
+        reference = stability_experiment(
+            factory, TARGET, backend="process", **kwargs
+        )
+        obs.reset_scalar_fallbacks()
+        reset_group_batch_stats()
+        grouped = stability_experiment(
+            factory, TARGET, backend="manycore", **kwargs
+        )
+        assert grouped == reference
+        assert "manycore" not in obs.scalar_fallback_counts()
+        stats = group_batch_stats()
+        assert stats["groups"] == 1
+        assert stats["grouped"] == 6
+        assert stats["scalar"] == 0
+
+    def test_grouped_kill_resume_bit_identical(self, tmp_path):
+        config = haswell().scaled(16)
+
+        def factory():
+            core = PhysicalCore(config, seed=5)
+            pht = core.predictor.gshare.pht
+            pht.fsm = dataclasses.replace(pht.fsm)
+            return core
+
+        kwargs = dict(
+            n_blocks=9,
+            block_branches=2000,
+            repetitions=10,
+            noise=NoiseModel.isolated(),
+        )
+        expected = stability_experiment(
+            factory, TARGET, backend="process", **kwargs
+        )
+        store = tmp_path / "campaign.ckpt"
+        calls = {"n": 0}
+
+        def dying_pre_trial(seed: int) -> None:
+            calls["n"] += 1
+            if calls["n"] > 3:
+                raise RuntimeError("injected crash")
+
+        with pytest.raises(RuntimeError):
+            stability_experiment(
+                factory,
+                TARGET,
+                backend="manycore",
+                checkpoint=store,
+                checkpoint_interval=3,
+                pre_trial=dying_pre_trial,
+                **kwargs,
+            )
+        resumed = stability_experiment(
+            factory,
+            TARGET,
+            backend="manycore",
+            checkpoint=store,
+            checkpoint_interval=3,
+            resume=True,
+            **kwargs,
+        )
+        assert resumed == expected
+
+
+class TestCompileCacheKeying:
+    """The compiled-block LRU is keyed on the active kernel backend."""
+
+    @pytest.mark.skipif(
+        len(BACKENDS) < 2, reason="needs two loadable kernel backends"
+    )
+    def test_backend_switch_is_a_distinct_entry(self):
+        clear_compile_cache()
+        core = PhysicalCore(skylake().scaled(16), seed=1)
+        spy = Process("spy")
+        block = RandomizationBlock.generate(3, n_branches=1000)
+        kernels.set_backend(BACKENDS[0])
+        block.compile(core, spy)
+        assert compile_cache_info()["misses"] == 1
+        block.compile(core, spy)
+        assert compile_cache_info()["hits"] == 1
+        kernels.set_backend(BACKENDS[1])
+        block.compile(core, spy)
+        info = compile_cache_info()
+        assert info["misses"] == 2
+        assert info["size"] == 2
+        # Switching back revalidates against the original entry, which
+        # was not evicted by the other backend's insert.
+        kernels.set_backend(BACKENDS[0])
+        block.compile(core, spy)
+        assert compile_cache_info()["hits"] == 2
+        clear_compile_cache()
+
+
+class TestDispatch:
+    def test_env_knob_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_BACKEND_ENV, "numpy")
+        assert kernels.set_backend(None) == "numpy"
+
+    def test_invalid_env_warns_and_uses_auto(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_BACKEND_ENV, "cuda")
+        with pytest.warns(RuntimeWarning, match="auto selection"):
+            installed = kernels.set_backend(None)
+        assert installed in BACKENDS
+
+    def test_unknown_explicit_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kernels.set_backend("gpu")
+
+    def test_unavailable_backend_falls_back_loudly(self):
+        missing = [b for b in ("numba", "cffi") if b not in BACKENDS]
+        if not missing:
+            pytest.skip("all compiled backends load here")
+        obs.reset_scalar_fallbacks()
+        with pytest.warns(RuntimeWarning, match="falling back to numpy"):
+            installed = kernels.set_backend(missing[0])
+        assert installed == "numpy"
+        assert obs.scalar_fallback_counts()["kernel_init"] == 1
+        assert missing[0] in kernels.backend_init_errors()
+
+    def test_dispatch_counts_increment(self):
+        kernels.set_backend("numpy")
+        kernels.reset_kernel_dispatch_counts()
+        monoid, ids, _ = _monoid_inputs(skylake, n=32)
+        kernels.reduce_ids(ids, monoid.compose_table, monoid.IDENTITY)
+        assert kernels.kernel_dispatch_counts() == {"numpy": 1}
+
+    def test_warmup_reports_active_backend(self):
+        assert kernels.warmup() == kernels.active_backend()

@@ -147,7 +147,35 @@ class TestRNGDiscipline:
         draw_trial_plan(core.rng, core, repetitions=12, noise=NoiseModel.isolated())
         assert pool.rng_digest == rng_state_digest(core.rng)
 
-    def test_nondeterministic_factory_falls_back(self):
+    def test_nondeterministic_factory_groups_per_payload(self):
+        """Distinct-seed cores form singleton groups: the pool replays
+        the reference trial per payload (never the caller's fn) and the
+        assessments stay bit-identical to the process backend running
+        the same factory-call sequence."""
+        config = skylake().scaled(16)
+
+        def make_factory():
+            seeds = iter(range(1000))
+            return lambda: PhysicalCore(config, seed=next(seeds))
+
+        kwargs = dict(
+            n_blocks=3,
+            block_branches=1500,
+            repetitions=6,
+            noise=NoiseModel.isolated(),
+            seed_start=1,
+        )
+        reference = stability_experiment(
+            make_factory(), TARGET, backend="process", **kwargs
+        )
+        obs.reset_scalar_fallbacks()
+        manycore = stability_experiment(
+            make_factory(), TARGET, backend="manycore", **kwargs
+        )
+        assert manycore == reference
+        assert obs.scalar_fallback_counts()["manycore"] == 3
+
+    def test_nondeterministic_factory_never_calls_fn(self):
         seeds = iter(range(1000))
         config = skylake().scaled(16)
 
@@ -157,9 +185,12 @@ class TestRNGDiscipline:
         pool = ManycoreCampaignPool(
             factory, TARGET, block_branches=1500, repetitions=6
         )
-        calls = []
-        pool.map(calls.append, [1, 2, 3])
-        assert calls == [1, 2, 3]  # delegated to the scalar fn
+
+        def fail(_seed):
+            raise AssertionError("grouped mode must not call fn")
+
+        out = pool.map(fail, [1, 2, 3])
+        assert len(out) == 3 and all(a is not None for a in out)
         assert obs.scalar_fallback_counts()["manycore"] == 3
 
 
@@ -351,6 +382,61 @@ class TestFindBlock:
         )
         assert manycore.block.seed == reference.block.seed
         assert obs.scalar_fallback_counts()["manycore"] >= 1
+
+
+class TestCodesScalarHoist:
+    """The untouched-selector chain's campaign invariants are hoisted
+    into ``_SharedStructure.__init__`` — a perf regression guard for
+    the plain-int-list fast path."""
+
+    def _shared(self):
+        pool = ManycoreCampaignPool(
+            small_factory(skylake, factor=4),
+            TARGET,
+            block_branches=300,
+            repetitions=64,
+            noise=NoiseModel.noisy(),
+        )
+        pool._ensure_built()
+        assert pool._shared is not None
+        return pool._shared
+
+    def test_invariants_hoisted_as_plain_lists(self):
+        shared = self._shared()
+        assert type(shared.drift_list) is list
+        assert all(type(v) is int for v in shared.drift_list)
+        assert type(shared.noise_list) is list
+        assert all(type(v) is int for v in shared.noise_list)
+        assert type(shared.predicts_list) is list
+        assert all(type(v) is bool for v in shared.predicts_list)
+        assert type(shared.out_rows) is list
+
+    def test_chain_beats_per_call_invariant_rebuild(self):
+        """Hoisting wins: the chain with invariants prebuilt must not be
+        slower than the same chain paying the per-call conversion the
+        hoist removed (generous margin for timer noise)."""
+        import timeit
+
+        shared = self._shared()
+        rng = np.random.default_rng(0)
+        shape = (shared.R2, shared.d + 2)
+        row_b = rng.integers(0, shared.d, size=shape)
+        row_g = rng.integers(0, shared.d, size=shape)
+
+        def hoisted():
+            shared._codes_scalar(row_b, row_g, -1)
+
+        def rebuilding():
+            [bool(shared.fsm.predicts(lv)) for lv in range(shared.d)]
+            [int(v) for v in shared.drift_tsel]
+            [int(v) for v in shared.noise_tag]
+            shared.outcomes.tolist()
+            shared._codes_scalar(row_b, row_g, -1)
+
+        hoisted()  # warm caches before timing
+        best_hoisted = min(timeit.repeat(hoisted, number=5, repeat=7))
+        best_rebuilding = min(timeit.repeat(rebuilding, number=5, repeat=7))
+        assert best_hoisted <= best_rebuilding * 1.10
 
 
 class TestManycoreState:
