@@ -35,6 +35,7 @@ def write_result(
     *,
     duration_seconds: Optional[float] = None,
     results_dir: Optional[Path] = None,
+    extra: Optional[dict] = None,
 ) -> Path:
     """Write ``results/<name>.txt`` plus its run manifest; returns the path.
 
@@ -48,21 +49,24 @@ def write_result(
     path = results_dir / f"{name}.txt"
     body = text + "\n"
     atomic_write_text(path, body)
+    manifest_extra = {
+        "scale": os.environ.get("REPRO_BENCH_SCALE", "1.0"),
+        # Which fold-kernel backend produced these numbers, plus how
+        # the manycore pool dispatched its payloads — a committed
+        # result is attributable to its execution path, not just its
+        # env knobs.
+        "kernels": {
+            "backend": kernels.active_backend(),
+            "dispatch_counts": kernels.kernel_dispatch_counts(),
+        },
+        "group_batching": group_batch_stats(),
+    }
+    if extra:
+        manifest_extra.update(extra)
     manifest = RunManifest.capture(
         name,
         duration_seconds=duration_seconds,
-        extra={
-            "scale": os.environ.get("REPRO_BENCH_SCALE", "1.0"),
-            # Which fold-kernel backend produced these numbers, plus how
-            # the manycore pool dispatched its payloads — a committed
-            # result is attributable to its execution path, not just its
-            # env knobs.
-            "kernels": {
-                "backend": kernels.active_backend(),
-                "dispatch_counts": kernels.kernel_dispatch_counts(),
-            },
-            "group_batching": group_batch_stats(),
-        },
+        extra=manifest_extra,
     )
     manifest.add_result(path.name, body)
     manifest.write(results_dir / f"{name}.manifest.json")

@@ -88,13 +88,14 @@ def scaled(n: int, minimum: int = 1) -> int:
     return max(minimum, int(n * SCALE))
 
 
-def emit(name: str, text: str) -> None:
+def emit(name: str, text: str, extra: dict = None) -> None:
     """Record a regenerated table/figure for the terminal summary.
 
     Writes the rendered text to ``results/<name>.txt`` with a run
-    manifest beside it.
+    manifest beside it; ``extra`` keys land in the manifest (e.g. the
+    service bench records its content-store traffic stats).
     """
-    write_result(name, text)
+    write_result(name, text, extra=extra)
     _EMITTED.append((name, text))
 
 

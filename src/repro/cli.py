@@ -150,6 +150,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="sleep per trial (chaos/CI hook: makes mid-run kills easy)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the sharded multi-tenant campaign service over a spool "
+            "directory (submit jobs with `repro submit`)"
+        ),
+    )
+    serve.add_argument(
+        "--root",
+        required=True,
+        metavar="DIR",
+        help="service root (jobs/, results/, checkpoints/, store/)",
+    )
+    serve.add_argument("--workers", type=int, default=None)
+    serve.add_argument(
+        "--once",
+        action="store_true",
+        help="drain the current job queue and exit (CI mode)",
+    )
+    serve.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="spool poll interval when idle",
+    )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve Prometheus text on http://127.0.0.1:PORT/metrics "
+        "(0 picks a free port)",
+    )
+    serve.add_argument(
+        "--store-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="persistent store disk budget (LRU-evicted above this)",
+    )
+    serve.add_argument(
+        "--trial-delay",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="sleep per trial (chaos/CI hook: makes mid-run kills easy)",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="queue a stability campaign for a running `repro serve`",
+    )
+    submit.add_argument(
+        "--root", required=True, metavar="DIR", help="service root directory"
+    )
+    submit.add_argument("--name", default="campaign")
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--preset", choices=PRESETS, default="skylake")
+    submit.add_argument(
+        "--scale",
+        type=int,
+        default=16,
+        help="predictor table scale divisor (1 = full size)",
+    )
+    submit.add_argument("--seed", type=int, default=7)
+    submit.add_argument(
+        "--address",
+        type=lambda s: int(s, 0),
+        default=0x4200,
+        help="target branch address (accepts hex)",
+    )
+    submit.add_argument("--blocks", type=int, default=64)
+    submit.add_argument("--branches", type=int, default=2000)
+    submit.add_argument("--repetitions", type=int, default=40)
+    submit.add_argument(
+        "--noise",
+        choices=("isolated", "noisy", "quiesced", "silent"),
+        default="isolated",
+    )
+    submit.add_argument("--seed-start", type=int, default=0)
+    submit.add_argument("--shards", type=int, default=4)
+
     trace = sub.add_parser(
         "trace", help="inspect or convert a JSONL trace written by --trace"
     )
@@ -423,6 +506,42 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import serve
+
+    return serve(
+        args.root,
+        workers=args.workers,
+        once=args.once,
+        poll_seconds=args.poll,
+        metrics_port=args.metrics_port,
+        store_bytes=args.store_bytes,
+        trial_delay=args.trial_delay,
+    )
+
+
+def _cmd_submit(args) -> int:
+    from repro.service import CampaignSpec, submit_job
+
+    spec = CampaignSpec(
+        name=args.name,
+        tenant=args.tenant,
+        preset=args.preset,
+        scale=args.scale,
+        seed=args.seed,
+        target_address=args.address,
+        n_blocks=args.blocks,
+        block_branches=args.branches,
+        repetitions=args.repetitions,
+        noise=args.noise,
+        seed_start=args.seed_start,
+        shards=args.shards,
+    )
+    path = submit_job(args.root, spec)
+    print(f"submitted {spec.campaign_id()} (tenant {spec.tenant}) -> {path}")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro import obs
 
@@ -448,6 +567,8 @@ _COMMANDS = {
     "pht-size": _cmd_pht_size,
     "poison": _cmd_poison,
     "campaign": _cmd_campaign,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
     "trace": _cmd_trace,
 }
 

@@ -72,9 +72,9 @@ from repro.cpu.timing import TimingModel
 from repro.obs import trace as obs
 from repro.parallel import TrialPool, resolve_workers, spawn_seeds
 from repro.resilience.checkpoint import (
-    CheckpointMismatch,
     ResumableCampaign,
     as_store,
+    verify_fingerprint,
 )
 from repro.system.noise import (
     NoiseDraw,
@@ -593,12 +593,7 @@ def find_block(
         if not resume:
             store.clear()
         else:
-            state = store.load()
-        if state is not None and state.get("fingerprint") != fingerprint:
-            raise CheckpointMismatch(
-                f"{store.path} holds a different search: "
-                f"{state.get('fingerprint')!r} vs {fingerprint!r}"
-            )
+            state = verify_fingerprint(store, store.load(), fingerprint)
     # The entropy draw always happens (the caller's stream position must
     # not depend on whether a checkpoint existed); a resumed search then
     # overrides it with the checkpointed value so its per-candidate

@@ -71,6 +71,7 @@ from repro import kernels
 from repro.cpu.core import BranchExecution, PhysicalCore
 from repro.cpu.counters import CounterKind
 from repro.cpu.process import Process
+from repro.obs import trace as obs
 
 __all__ = [
     "RandomizationBlock",
@@ -95,14 +96,24 @@ COMPILE_CACHE_MAXSIZE = 64
 
 # (block fingerprint, core geometry, key, partition, timing) -> CompiledBlock.
 _compile_cache: "OrderedDict[Tuple, CompiledBlock]" = OrderedDict()
-_compile_cache_stats: Dict[str, int] = {"hits": 0, "misses": 0}
+_compile_cache_stats: Dict[str, int] = {
+    "memory_hits": 0,
+    "disk_hits": 0,
+    "misses": 0,
+}
 
 
 def clear_compile_cache() -> None:
-    """Empty the process-wide compiled-block cache and its statistics."""
+    """Empty the process-wide compiled-block cache and its statistics.
+
+    Only the in-process tier is dropped: the persistent
+    :mod:`repro.store` tier (when one is configured) deliberately
+    survives, since its artifacts are content-addressed and shared
+    across processes.
+    """
     _compile_cache.clear()
-    _compile_cache_stats["hits"] = 0
-    _compile_cache_stats["misses"] = 0
+    for stat in _compile_cache_stats:
+        _compile_cache_stats[stat] = 0
 
 
 @functools.lru_cache(maxsize=32)
@@ -116,13 +127,73 @@ def _entry_indices(n_entries: int) -> np.ndarray:
 
 
 def compile_cache_info() -> Dict[str, int]:
-    """Hit/miss/size statistics of the compiled-block cache."""
+    """Hit/miss/size statistics of the compiled-block cache.
+
+    ``hits`` stays the historical total for existing callers;
+    ``memory_hits`` / ``disk_hits`` attribute each one to the tier that
+    served it (disk hits only occur with a :mod:`repro.store` default
+    store configured).
+    """
     return {
-        "hits": _compile_cache_stats["hits"],
+        "hits": (
+            _compile_cache_stats["memory_hits"]
+            + _compile_cache_stats["disk_hits"]
+        ),
+        "memory_hits": _compile_cache_stats["memory_hits"],
+        "disk_hits": _compile_cache_stats["disk_hits"],
         "misses": _compile_cache_stats["misses"],
         "size": len(_compile_cache),
         "maxsize": COMPILE_CACHE_MAXSIZE,
     }
+
+
+def _record_compile_lookup(tier: str) -> None:
+    """Mirror a compile-cache lookup onto the metrics registry."""
+    tracer = obs.TRACER
+    if tracer is not None and tracer.metrics is not None:
+        tracer.metrics.counter(
+            "repro_compile_cache_total",
+            "compiled-block cache lookups by serving tier",
+            labels=("tier",),
+        ).inc(tier=tier)
+    _compile_cache_stats[
+        "misses" if tier == "miss" else f"{tier}_hits"
+    ] += 1
+
+
+def _store_key(block_fingerprint: str, core, key, partition) -> str:
+    """Persistent-store key for one compiled block.
+
+    Built from explicitly stable parts — ``repr(core.config)`` would
+    embed the ``fsm_factory`` function object's memory address, so the
+    geometry fields and the FSM *spec* (value-stable repr) stand in for
+    the config.  Two processes compiling the same block against the same
+    preset therefore derive the same key.
+    """
+    from repro import store as repro_store
+
+    config = core.config
+    return repro_store.store_key(
+        "compiled_block",
+        block=block_fingerprint,
+        config=(
+            config.name,
+            config.bimodal_entries,
+            config.gshare_entries,
+            config.ghr_bits,
+            config.selector_entries,
+            config.selector_initial,
+            config.bit_sets,
+            config.btb_sets,
+            config.selector_bits,
+            repr(config.fsm),
+            repr(config.initial_state),
+        ),
+        key=key,
+        partition=repr(partition),
+        timing=repr(core.timing),
+        backend=kernels.active_backend(),
+    )
 
 
 @dataclass(frozen=True)
@@ -281,9 +352,27 @@ class RandomizationBlock:
         cached = _compile_cache.get(cache_key)
         if cached is not None:
             _compile_cache.move_to_end(cache_key)
-            _compile_cache_stats["hits"] += 1
+            _record_compile_lookup("memory")
             return cached
-        _compile_cache_stats["misses"] += 1
+
+        # Memory miss: consult the persistent tier when one is
+        # configured (repro.store default store).  The store's own
+        # memory tier is bypassed — the LRU above *is* the memory tier
+        # for compiled blocks.
+        from repro import store as repro_store
+
+        store = repro_store.get_store()
+        disk_key = None
+        if store is not None:
+            disk_key = _store_key(self.fingerprint(), core, key, partition)
+            found, value = store.get(disk_key, memory=False)
+            if found and isinstance(value, CompiledBlock):
+                _record_compile_lookup("disk")
+                _compile_cache[cache_key] = value
+                while len(_compile_cache) > COMPILE_CACHE_MAXSIZE:
+                    _compile_cache.popitem(last=False)
+                return value
+        _record_compile_lookup("miss")
 
         predictor = core.predictor
         monoid = predictor.bimodal.pht.fsm.transition_monoid()
@@ -355,6 +444,8 @@ class RandomizationBlock:
         _compile_cache[cache_key] = compiled
         while len(_compile_cache) > COMPILE_CACHE_MAXSIZE:
             _compile_cache.popitem(last=False)
+        if store is not None and disk_key is not None:
+            store.put(disk_key, compiled, memory=False)
         return compiled
 
     def fold_map_reference(

@@ -36,6 +36,7 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.http import MetricsServer
 from repro.obs.manifest import RunManifest, git_revision, sha256_text
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import (
@@ -60,6 +61,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsServer",
     "RunManifest",
     "TraceEvent",
     "Tracer",

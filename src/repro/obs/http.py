@@ -1,0 +1,95 @@
+"""A stdlib HTTP endpoint serving the metrics registry for scraping.
+
+``repro.obs.metrics.render_text`` already speaks the Prometheus text
+exposition format; this module puts it behind ``GET /metrics`` on a
+background :class:`http.server.ThreadingHTTPServer` so a running
+``repro serve`` can be scraped like any other service.  No third-party
+dependencies, no TLS, bound to loopback by default — an operator puts a
+real scraper or reverse proxy in front for anything beyond localhost.
+
+The handler resolves the registry *per request*: by default it reads
+the live tracer's registry (``enable_tracing(collect_metrics=True)``),
+so counters incremented after the server starts are visible on the next
+scrape; a fixed :class:`~repro.obs.metrics.MetricsRegistry` can be
+pinned instead for tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["MetricsServer", "CONTENT_TYPE"]
+
+#: Prometheus text exposition content type.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _live_registry() -> Optional[MetricsRegistry]:
+    tracer = obs_trace.TRACER
+    return tracer.metrics if tracer is not None else None
+
+
+class MetricsServer:
+    """Background ``/metrics`` HTTP server over a metrics registry.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`port`) — what the unit test and ``--metrics-port 0`` use.
+    """
+
+    def __init__(
+        self,
+        *,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        resolve: Callable[[], Optional[MetricsRegistry]] = (
+            (lambda: registry) if registry is not None else _live_registry
+        )
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+                if self.path.split("?", 1)[0] != "/metrics":
+                    self.send_error(404, "only /metrics is served")
+                    return
+                reg = resolve()
+                body = (
+                    reg.render_text() if reg is not None else ""
+                ).encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format: str, *args) -> None:
+                pass  # scrapes must not spam the service log
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -336,7 +336,8 @@ class TrialPool:
         return _Slot(proc, parent_conn, heartbeat, chunk_index, attempt)
 
     def _supervised_dispatch(
-        self, ctx, fn, chunks: List[List[Any]], workers: int
+        self, ctx, fn, chunks: List[List[Any]], workers: int,
+        consume: Optional[Callable[[int, List[Any]], None]] = None,
     ) -> List[tuple]:
         """Run every chunk to completion under supervision.
 
@@ -345,6 +346,12 @@ class TrialPool:
         workers in its trace (events a forked worker emits into *its*
         tracer die with the worker; the parent is the only durable
         sink).
+
+        With ``consume`` given, each verified chunk's results are handed
+        to it the moment the frame arrives (in completion order, not
+        chunk order) and are *not* retained — the streaming-reduction
+        path, which keeps parent memory at one chunk instead of the
+        whole campaign.
         """
         sup = self.supervise
         pending = deque(range(len(chunks)))
@@ -372,7 +379,11 @@ class TrialPool:
                 )
                 start = time.perf_counter()
                 results = [fn(payload) for payload in chunks[ci]]
-                done[ci] = (os.getpid(), time.perf_counter() - start, results)
+                elapsed = time.perf_counter() - start
+                if consume is not None:
+                    consume(ci, results)
+                    results = None
+                done[ci] = (os.getpid(), elapsed, results)
             else:
                 obs.record_resilience_event(
                     "chunk_retry", detail=f"chunk={ci} kind={kind}"
@@ -420,9 +431,11 @@ class TrialPool:
                         if hashlib.sha256(blob).hexdigest() != digest:
                             fault(slot, "chunk_corrupt")
                             continue
-                        done[slot.chunk_index] = (
-                            pid, elapsed, pickle.loads(blob)
-                        )
+                        results = pickle.loads(blob)
+                        if consume is not None:
+                            consume(slot.chunk_index, results)
+                            results = None
+                        done[slot.chunk_index] = (pid, elapsed, results)
                         slot.close()
                         running.remove(slot)
                     elif not slot.proc.is_alive():
@@ -448,7 +461,8 @@ class TrialPool:
         return [done[i] for i in range(len(chunks))]
 
     def _map_forked(
-        self, fn: Callable[[Any], Any], payloads: List[Any], workers: int
+        self, fn: Callable[[Any], Any], payloads: List[Any], workers: int,
+        consume: Optional[Callable[[int, List[Any]], None]] = None,
     ) -> List[Any]:
         global _ACTIVE_FN, _ACTIVE_INJECTOR
         chunks = self._chunks(payloads, workers)
@@ -471,20 +485,20 @@ class TrialPool:
         try:
             ctx = multiprocessing.get_context("fork")
             chunk_results = self._supervised_dispatch(
-                ctx, fn, chunks, workers
+                ctx, fn, chunks, workers, consume
             )
         finally:
             _ACTIVE_FN = None
             _ACTIVE_INJECTOR = None
         if tracer is not None:
             wall = time.perf_counter() - dispatch_start
-            for i, (worker_pid, elapsed, results) in enumerate(chunk_results):
+            for i, (worker_pid, elapsed, _results) in enumerate(chunk_results):
                 tracer.emit(
                     "pool",
                     "chunk",
                     pid=worker_pid,
                     chunk=i,
-                    trials=len(results),
+                    trials=len(chunks[i]),
                     elapsed_s=round(elapsed, 6),
                 )
             tracer.emit(
@@ -506,6 +520,8 @@ class TrialPool:
                     "repro_pool_trials_total",
                     "trials dispatched through forked workers",
                 ).inc(len(payloads))
+        if consume is not None:
+            return []
         return [
             result
             for _, _, results in chunk_results
@@ -529,6 +545,48 @@ class TrialPool:
         if workers <= 1:
             return [fn(payload) for payload in payloads]
         return self._map_forked(fn, payloads, workers)
+
+    def map_reduce(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        *,
+        merge: Callable[[Any, Any], Any],
+        zero: Any,
+    ) -> Any:
+        """Fold ``fn`` over payloads without materialising the results.
+
+        ``merge(accumulator, result)`` is applied to each trial result
+        and its return value becomes the accumulator; ``zero`` is the
+        initial accumulator.  On the forked path chunk results are folded
+        the moment each chunk's frame arrives — parent memory stays at
+        O(one chunk) instead of O(campaign), which is what lets the
+        campaign service stream millions of trials through a handful of
+        accumulators.
+
+        Chunks complete in nondeterministic order, so a deterministic
+        fold requires ``merge`` to be associative and commutative over
+        the trial results (the :mod:`repro.service.aggregate`
+        accumulators are exact-rational precisely to meet this).  The
+        serial path folds in payload order, same as a plain loop.
+        """
+        payloads = list(payloads)
+        acc = zero
+        if not payloads:
+            return acc
+        workers = self._effective_workers(len(payloads))
+        if workers <= 1:
+            for payload in payloads:
+                acc = merge(acc, fn(payload))
+            return acc
+        box = {"acc": acc}
+
+        def consume(chunk_index: int, results: List[Any]) -> None:
+            for result in results:
+                box["acc"] = merge(box["acc"], result)
+
+        self._map_forked(fn, payloads, workers, consume)
+        return box["acc"]
 
     def find_first(
         self,

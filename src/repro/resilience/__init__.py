@@ -29,6 +29,7 @@ from repro.resilience.checkpoint import (
     CheckpointStore,
     ResumableCampaign,
     rng_state_digest,
+    verify_fingerprint,
 )
 from repro.resilience.faults import FaultInjector, FaultSpec
 
@@ -41,4 +42,5 @@ __all__ = [
     "FaultSpec",
     "ResumableCampaign",
     "rng_state_digest",
+    "verify_fingerprint",
 ]

@@ -57,6 +57,7 @@ __all__ = [
     "CheckpointStore",
     "ResumableCampaign",
     "rng_state_digest",
+    "verify_fingerprint",
 ]
 
 #: File magic; bump the version when the payload schema changes.
@@ -211,6 +212,28 @@ def as_store(
     return CheckpointStore(checkpoint)
 
 
+def verify_fingerprint(
+    store: CheckpointStore,
+    state: Optional[Dict[str, Any]],
+    fingerprint: Dict[str, Any],
+) -> Optional[Dict[str, Any]]:
+    """Reject a checkpoint that belongs to a different experiment.
+
+    Returns ``state`` unchanged when it is ``None`` or carries the
+    expected ``fingerprint``; raises :class:`CheckpointMismatch`
+    otherwise.  Every resumable surface (``find_block``,
+    :class:`ResumableCampaign`, the campaign service) funnels its resume
+    decision through here so the mismatch semantics — and the error
+    message a user debugs from — stay identical.
+    """
+    if state is not None and state.get("fingerprint") != fingerprint:
+        raise CheckpointMismatch(
+            f"{store.path} belongs to a different campaign: checkpointed "
+            f"{state.get('fingerprint')!r} vs requested {fingerprint!r}"
+        )
+    return state
+
+
 class ResumableCampaign:
     """A checkpointed, resumable ``pool.map`` over independent trials.
 
@@ -260,16 +283,7 @@ class ResumableCampaign:
         if not self.resume:
             self.store.clear()
             return None
-        state = self.store.load()
-        if state is None:
-            return None
-        if state.get("fingerprint") != self.fingerprint:
-            raise CheckpointMismatch(
-                f"{self.store.path} belongs to a different campaign: "
-                f"checkpointed {state.get('fingerprint')!r} vs requested "
-                f"{self.fingerprint!r}"
-            )
-        return state
+        return verify_fingerprint(self.store, self.store.load(), self.fingerprint)
 
     def _save_state(
         self, results: Dict[int, Any], total: int, complete: bool

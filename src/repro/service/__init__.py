@@ -1,0 +1,59 @@
+"""``repro.service`` — the sharded, cached, multi-tenant campaign layer.
+
+ROADMAP item 5: PRs 3–7 built the per-process machinery (fork pool,
+resumable checkpoints, manycore + compiled kernels); this package is
+the layer above it, turning a campaign *spec* into a long-running
+service workload:
+
+* :mod:`repro.service.campaign` — :class:`CampaignSpec` (a plain-data,
+  content-addressable description of a stability campaign), the shard
+  planner, and the per-trial / per-shard executors whose results are
+  bit-identical at any shard count;
+* :mod:`repro.service.aggregate` — exact mergeable streaming
+  accumulators (:class:`CampaignAggregate`): count/sum/M2 moments over
+  rationals, integer histogram sketches, and an XOR-combined multiset
+  digest, so merged shard results are byte-identical to the unsharded
+  run however the campaign was split;
+* :mod:`repro.service.scheduler` — :class:`CampaignService`: N
+  concurrent campaigns with per-tenant fair-share scheduling over one
+  shared :class:`~repro.parallel.TrialPool` and one shared
+  :class:`~repro.store.ContentStore`, each campaign individually
+  checkpointed and resumable;
+* :mod:`repro.service.server` — the spool-directory front end behind
+  ``repro serve`` / ``repro submit``.
+
+See MODELING.md §13 for the architecture and the sharding determinism
+contract.
+"""
+
+from repro.service.aggregate import (
+    CampaignAggregate,
+    HistogramSketch,
+    MomentAccumulator,
+)
+from repro.service.campaign import (
+    CampaignSpec,
+    plan_shards,
+    run_campaign,
+    run_shard,
+    run_trial,
+    shard_store_key,
+)
+from repro.service.scheduler import CampaignService
+from repro.service.server import load_jobs, serve, submit_job
+
+__all__ = [
+    "CampaignAggregate",
+    "CampaignService",
+    "CampaignSpec",
+    "HistogramSketch",
+    "MomentAccumulator",
+    "load_jobs",
+    "plan_shards",
+    "run_campaign",
+    "run_shard",
+    "run_trial",
+    "serve",
+    "shard_store_key",
+    "submit_job",
+]

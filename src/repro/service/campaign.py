@@ -1,0 +1,309 @@
+"""Campaign specs, the shard planner, and the shard trial executor.
+
+A service campaign is the Figure-4 stability workload as a *pure
+function of a plain-data spec*: every trial builds a fresh core from the
+spec's preset, compiles its candidate block (through the process-wide
+LRU and, when configured, the persistent :mod:`repro.store` tier), and
+assesses it with a :class:`~repro.core.calibration.TrialPlan` drawn from
+an RNG spawned off the spec seed **keyed by the trial's global index**::
+
+    np.random.SeedSequence(spec.seed, spawn_key=(index,))
+
+``SeedSequence(e).spawn(n)[i]`` is exactly ``SeedSequence(e,
+spawn_key=(i,))``, so a shard covering indices ``[lo, hi)`` draws the
+same per-trial streams the unsharded run draws for those indices — the
+same keying PR 3 used to make worker count irrelevant makes the *shard
+layout* irrelevant here.  Combined with the exact mergeable aggregates
+(:mod:`repro.service.aggregate`), a campaign split into any number of
+shards digests bit-identically to the serial run, RNG stream positions
+included (each trial record embeds its core RNG's post-run digest).
+
+Shard results are content-addressed: :func:`shard_store_key` derives a
+:mod:`repro.store` key from the result-shaping spec fields plus the
+index range, so a re-submitted campaign — or a different tenant's
+identical one — is served from the store without dispatching a single
+trial.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bpu.presets import PRESETS
+from repro.core.calibration import assess_block_batch, draw_trial_plan
+from repro.core.randomizer import RandomizationBlock
+from repro.cpu.core import PhysicalCore
+from repro.cpu.process import Process
+from repro.resilience.checkpoint import rng_state_digest
+from repro.service.aggregate import CampaignAggregate
+from repro.store import ContentStore, store_key
+from repro.system.noise import NoiseModel
+
+__all__ = [
+    "CampaignSpec",
+    "plan_shards",
+    "run_campaign",
+    "run_shard",
+    "run_trial",
+    "shard_store_key",
+]
+
+#: Noise environments a spec may name (plain strings keep specs JSON).
+NOISE_PRESETS: Dict[str, Callable[[], NoiseModel]] = {
+    "isolated": NoiseModel.isolated,
+    "noisy": NoiseModel.noisy,
+    "quiesced": NoiseModel.quiesced,
+    "silent": NoiseModel.silent,
+}
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Plain-data description of one stability campaign.
+
+    Everything is a JSON-representable primitive so specs round-trip
+    through job files, store keys and checkpoint fingerprints without
+    ambiguity.  ``tenant`` and ``shards`` shape *scheduling*, not
+    results, so they are excluded from :meth:`key_parts` — two tenants
+    submitting the same science share one cache entry.
+    """
+
+    #: Caller-facing label; results are filed under the campaign id.
+    name: str = "campaign"
+    #: Fair-share scheduling bucket.
+    tenant: str = "default"
+    #: Predictor preset (``repro.bpu.presets.PRESETS`` key).
+    preset: str = "skylake"
+    #: ``PredictorConfig.scaled`` divisor (1 = full-size tables).
+    scale: int = 16
+    #: Core seed; also the root entropy of the per-trial plan streams.
+    seed: int = 7
+    #: Target PHT address under calibration.
+    target_address: int = 0x4200
+    #: Campaign size: candidate blocks assessed.
+    n_blocks: int = 64
+    #: Branches per randomisation block.
+    block_branches: int = 2_000
+    #: Probe repetitions per variant per block.
+    repetitions: int = 40
+    #: Noise environment name (:data:`NOISE_PRESETS` key).
+    noise: str = "isolated"
+    #: First block seed; trial ``i`` uses ``seed_start + i``.
+    seed_start: int = 0
+    #: Requested shard count (scheduling hint; results are invariant).
+    shards: int = 4
+
+    def __post_init__(self) -> None:
+        if self.preset not in PRESETS:
+            raise ValueError(f"unknown preset {self.preset!r}")
+        if self.noise not in NOISE_PRESETS:
+            raise ValueError(f"unknown noise model {self.noise!r}")
+        if self.n_blocks < 1:
+            raise ValueError("n_blocks must be >= 1")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+
+    # -- identity -----------------------------------------------------------
+
+    def key_parts(self) -> Dict[str, Any]:
+        """The result-shaping fields (scheduling knobs excluded)."""
+        return {
+            "preset": self.preset,
+            "scale": self.scale,
+            "seed": self.seed,
+            "target_address": self.target_address,
+            "n_blocks": self.n_blocks,
+            "block_branches": self.block_branches,
+            "repetitions": self.repetitions,
+            "noise": self.noise,
+            "seed_start": self.seed_start,
+        }
+
+    def content_key(self) -> str:
+        return store_key("campaign", **self.key_parts())
+
+    def campaign_id(self) -> str:
+        """Stable, filename-safe id: label plus content-hash suffix."""
+        safe = "".join(
+            c if c.isalnum() or c in "-_" else "-" for c in self.name
+        )
+        return f"{safe}-{self.content_key().rsplit('-', 1)[1][:12]}"
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """Checkpoint fingerprint: the science plus the shard layout."""
+        parts = self.key_parts()
+        parts["experiment"] = "service_campaign"
+        parts["shards"] = self.shards
+        return parts
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        known = {f: data[f] for f in cls.__dataclass_fields__ if f in data}
+        return cls(**known)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))
+
+    def with_shards(self, shards: int) -> "CampaignSpec":
+        return replace(self, shards=shards)
+
+    def noise_model(self) -> NoiseModel:
+        return NOISE_PRESETS[self.noise]()
+
+    def build_core(self) -> PhysicalCore:
+        config = PRESETS[self.preset]()
+        if self.scale != 1:
+            config = config.scaled(self.scale)
+        return PhysicalCore(config, seed=self.seed)
+
+
+def plan_shards(
+    spec: CampaignSpec, n_shards: Optional[int] = None
+) -> List[Tuple[int, int]]:
+    """Split ``[0, n_blocks)`` into contiguous ``(lo, hi)`` index ranges.
+
+    Sizes differ by at most one trial; a shard count above ``n_blocks``
+    clamps so no shard is empty.  The split affects only scheduling —
+    the determinism contract makes results identical for every split.
+    """
+    n = n_shards if n_shards is not None else spec.shards
+    if n < 1:
+        raise ValueError("shard count must be >= 1")
+    n = min(n, spec.n_blocks)
+    base, extra = divmod(spec.n_blocks, n)
+    shards: List[Tuple[int, int]] = []
+    lo = 0
+    for index in range(n):
+        hi = lo + base + (1 if index < extra else 0)
+        shards.append((lo, hi))
+        lo = hi
+    return shards
+
+
+def shard_store_key(spec: CampaignSpec, lo: int, hi: int) -> str:
+    """Content key of one shard's aggregate in the persistent store."""
+    return store_key("shard_result", lo=lo, hi=hi, **spec.key_parts())
+
+
+def run_trial(
+    spec: CampaignSpec,
+    index: int,
+    *,
+    pre_trial: Optional[Callable[[int], None]] = None,
+) -> Dict[str, Any]:
+    """Trial ``index`` of a campaign: one block assessed on a fresh core.
+
+    Pure function of ``(spec, index)`` — the scramble/noise randomness
+    comes from the index-keyed spawned stream, the core is rebuilt from
+    the spec, and the compiled block is content-cached.  The returned
+    record is plain JSON data; ``rng_digest`` pins the core generator's
+    exact post-trial stream position into the campaign digest.
+    """
+    if pre_trial is not None:
+        pre_trial(index)
+    core = spec.build_core()
+    spy = Process("service-spy")
+    block = RandomizationBlock.generate(
+        spec.seed_start + index, n_branches=spec.block_branches
+    )
+    compiled = block.compile(core, spy)
+    child = np.random.SeedSequence(spec.seed, spawn_key=(index,))
+    plan = draw_trial_plan(
+        np.random.default_rng(child),
+        core,
+        repetitions=spec.repetitions,
+        noise=spec.noise_model(),
+    )
+    assessment = assess_block_batch(
+        core, spy, compiled, spec.target_address, plan=plan
+    )
+    fsm = core.predictor.bimodal.pht.fsm
+    return {
+        "index": index,
+        "seed": spec.seed_start + index,
+        "tt_pattern": assessment.tt_pattern,
+        "tt_frequency": float(assessment.tt_frequency),
+        "nn_pattern": assessment.nn_pattern,
+        "nn_frequency": float(assessment.nn_frequency),
+        "stable": bool(assessment.stable),
+        "state": assessment.decoded(fsm).value,
+        "rng_digest": rng_state_digest(core.rng),
+    }
+
+
+def run_shard(
+    spec: CampaignSpec,
+    lo: int,
+    hi: int,
+    *,
+    pool=None,
+    pre_trial: Optional[Callable[[int], None]] = None,
+) -> CampaignAggregate:
+    """Fold trials ``[lo, hi)`` into one :class:`CampaignAggregate`.
+
+    Streams through ``pool.map_reduce`` when a pool is given (memory
+    O(1) in the trial count); runs the plain serial fold otherwise —
+    which is also how a shard executes *inside* a forked service worker,
+    where the pool reentrancy latch forces the serial path anyway.
+    """
+
+    def fold(acc: CampaignAggregate, record: Dict[str, Any]):
+        acc.add_trial(record)
+        return acc
+
+    indices = range(lo, hi)
+    if pool is not None:
+        return pool.map_reduce(
+            lambda i: run_trial(spec, i, pre_trial=pre_trial),
+            indices,
+            merge=fold,
+            zero=CampaignAggregate(),
+        )
+    acc = CampaignAggregate()
+    for index in indices:
+        acc.add_trial(run_trial(spec, index, pre_trial=pre_trial))
+    return acc
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    n_shards: Optional[int] = None,
+    pool=None,
+    store: Optional[ContentStore] = None,
+    pre_trial: Optional[Callable[[int], None]] = None,
+) -> CampaignAggregate:
+    """Run a whole campaign shard by shard and merge the aggregates.
+
+    The simple single-campaign entry point (the CLI bench and the
+    property tests use it); :class:`~repro.service.scheduler.
+    CampaignService` is the multi-tenant scheduler over the same
+    pieces.  With a ``store``, shard aggregates hit the persistent
+    cache: a warm re-run merges stored shards without running a trial.
+    """
+    parts: List[CampaignAggregate] = []
+    for lo, hi in plan_shards(spec, n_shards):
+        key = shard_store_key(spec, lo, hi)
+        if store is not None:
+            found, value = store.get(key)
+            if found and isinstance(value, CampaignAggregate):
+                parts.append(value)
+                continue
+        part = run_shard(spec, lo, hi, pool=pool, pre_trial=pre_trial)
+        if store is not None:
+            store.put(key, part)
+        parts.append(part)
+    return CampaignAggregate.merged(parts)
