@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.bpu.hashes import apply_hash, validate_hash
 from repro.bpu.partition import Partition
 from repro.bpu.pht import PatternHistoryTable
 
@@ -24,8 +25,11 @@ __all__ = ["BimodalPredictor"]
 class BimodalPredictor:
     """PC-indexed direction predictor over a :class:`PatternHistoryTable`."""
 
-    def __init__(self, pht: PatternHistoryTable) -> None:
+    def __init__(
+        self, pht: PatternHistoryTable, index_hash: str = "mod"
+    ) -> None:
         self.pht = pht
+        self.index_hash = validate_hash(index_hash)
 
     def index(
         self,
@@ -37,14 +41,16 @@ class BimodalPredictor:
 
         The paper's reverse engineering (§6.3) found byte-granular
         indexing and a power-of-two table, consistent with a simple
-        modulo.  ``key`` (normally 0) models the §10.2 mitigation that
-        mixes a per-software-entity secret into the index; ``partition``
+        modulo (``index_hash="mod"``); the Arm-flavoured presets fold
+        upper address bits first (:mod:`repro.bpu.hashes`).  ``key``
+        (normally 0) models the §10.2 mitigation that mixes a
+        per-software-entity secret into the index; ``partition``
         models the §10.2 BPU-partitioning mitigation.
         """
         mixed = int(address) ^ int(key)
         if partition is not None:
             return partition.confine(mixed)
-        return mixed % self.pht.n_entries
+        return apply_hash(self.index_hash, mixed, self.pht.n_entries)
 
     def predict(
         self,

@@ -38,6 +38,7 @@ __all__ = [
     "level_dtype",
     "textbook_2bit_fsm",
     "skylake_fsm",
+    "three_bit_fsm",
 ]
 
 
@@ -385,4 +386,32 @@ def skylake_fsm() -> FSMSpec:
         next_on_not_taken=(0, 0, 1, 2, 3),
         to_public=(State.SN, State.WN, State.WT, State.WT, State.ST),
         taken_states_ambiguous=True,
+    )
+
+
+def three_bit_fsm() -> FSMSpec:
+    """Eight-level saturating counter, the TAGE-flavoured FSM variant.
+
+    TAGE-family predictors (and the wide Arm cores dissected in
+    arXiv:2411.13900) keep 3-bit saturating counters per tagged entry:
+    deeper hysteresis on both sides, so a well-trained direction survives
+    three contrary outcomes before the prediction flips.  Levels 0..7
+    count monotonically; the weak public states sit at the flip boundary
+    (WN = level 3, WT = level 4) and the three saturated levels on each
+    side all map to the strong public state, without the Skylake
+    sticky-taken asymmetry.  A fuzz probe distinguishes this variant
+    from the 2-bit families by how many consecutive contrary outcomes a
+    saturated entry absorbs before mispredicting stops.
+    """
+    return FSMSpec(
+        name="three-bit-saturating",
+        n_levels=8,
+        predict_taken=(False,) * 4 + (True,) * 4,
+        next_on_taken=(1, 2, 3, 4, 5, 6, 7, 7),
+        next_on_not_taken=(0, 0, 1, 2, 3, 4, 5, 6),
+        to_public=(
+            State.SN, State.SN, State.SN, State.WN,
+            State.WT, State.ST, State.ST, State.ST,
+        ),
+        taken_states_ambiguous=False,
     )

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.bpu.ghr import GlobalHistoryRegister
+from repro.bpu.hashes import apply_hash, fold_history, validate_hash
 from repro.bpu.partition import Partition
 from repro.bpu.pht import PatternHistoryTable
 
@@ -27,10 +28,14 @@ class GSharePredictor:
     """GHR-XOR-PC indexed direction predictor."""
 
     def __init__(
-        self, pht: PatternHistoryTable, ghr: GlobalHistoryRegister
+        self,
+        pht: PatternHistoryTable,
+        ghr: GlobalHistoryRegister,
+        index_hash: str = "mod",
     ) -> None:
         self.pht = pht
         self.ghr = ghr
+        self.index_hash = validate_hash(index_hash)
 
     def index(
         self,
@@ -38,11 +43,19 @@ class GSharePredictor:
         key: int = 0,
         partition: Optional[Partition] = None,
     ) -> int:
-        """PHT entry for ``address`` under the *current* global history."""
-        mixed = int(address) ^ self.ghr.value ^ int(key)
+        """PHT entry for ``address`` under the *current* global history.
+
+        A history longer than the index is folded down to index width
+        first (:func:`repro.bpu.hashes.fold_history`), so every history
+        bit influences the entry — identity when the history fits.
+        """
+        folded = fold_history(
+            self.ghr.value, self.ghr.length, self.pht.n_entries
+        )
+        mixed = int(address) ^ folded ^ int(key)
         if partition is not None:
             return partition.confine(mixed)
-        return mixed % self.pht.n_entries
+        return apply_hash(self.index_hash, mixed, self.pht.n_entries)
 
     def predict(
         self,

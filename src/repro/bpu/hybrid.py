@@ -76,9 +76,11 @@ class HybridPredictor:
         selector: SelectorTable,
         bit: BranchIdentificationTable,
         btb: BranchTargetBuffer,
+        index_hash: str = "mod",
     ) -> None:
-        self.bimodal = BimodalPredictor(bimodal_pht)
-        self.gshare = GSharePredictor(gshare_pht, ghr)
+        self.index_hash = index_hash
+        self.bimodal = BimodalPredictor(bimodal_pht, index_hash=index_hash)
+        self.gshare = GSharePredictor(gshare_pht, ghr, index_hash=index_hash)
         self.ghr = ghr
         self.selector = selector
         self.bit = bit

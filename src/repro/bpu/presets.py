@@ -1,4 +1,4 @@
-"""Microarchitecture presets for the three CPUs evaluated in the paper.
+"""Microarchitecture presets: the paper's three CPUs plus a predictor zoo.
 
 The paper runs BranchScope on an i5-6200U (Skylake), i7-4800MQ (Haswell)
 and i7-2600 (Sandy Bridge).  Intel does not document these predictors;
@@ -15,21 +15,52 @@ the presets encode only what the paper establishes or attributes:
 * Skylake "learn[s] the pattern slightly faster" in Figure 2 — modelled
   with a slightly longer global history and a larger gshare table.
 
+The zoo extends the family beyond the paper's Intel parts, grounded in
+the follow-up reverse-engineering literature (PAPERS.md):
+
+* :func:`tage_like` — a TAGE-flavoured design: 3-bit saturating
+  counters (:func:`repro.bpu.fsm.three_bit_fsm`) and a long global
+  history, the structure modern high-end cores converged on,
+* :func:`firestorm_like` — Apple Firestorm as dissected in
+  "Dissecting Conditional Branch Predictors of Apple Firestorm and
+  Qualcomm Oryon" (arXiv:2411.13900): very large tables, very long
+  history, 3-bit counters,
+* :func:`oryon_like` — Qualcomm Oryon per the same paper plus the
+  folded-index findings of "Branch Target Buffer Reverse Engineering on
+  Arm" (arXiv:2412.05413): mid-sized tables indexed through an XOR fold
+  of upper address bits (``index_hash="fold"``,
+  :mod:`repro.bpu.hashes`) rather than a plain modulo.
+
 Everything else (BTB geometry, identification-table size) is a plausible
 stand-in chosen so that the paper's experiments behave as reported; the
 ablation bench ``bench_ablation_predictor_size`` sweeps these parameters
 to show which of them the attack actually depends on.
+
+:data:`PRESETS` is the **single registry**: every engine, mitigation,
+bench, the campaign service and the CLI resolve preset names through it,
+so a new zoo entry becomes available everywhere by joining this dict —
+there is no second list to update.  Unknown names raise a ``KeyError``
+that lists the valid ones.  The ``repro.fuzz`` subsystem treats each
+entry as an opaque oracle and rediscovers its geometry from probe
+signatures alone (see ``docs/MODELING.md`` §14).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable
+from dataclasses import dataclass, replace
+from typing import Callable, Dict
 
 from repro.bpu.bit import BranchIdentificationTable
 from repro.bpu.btb import BranchTargetBuffer
-from repro.bpu.fsm import FSMSpec, State, skylake_fsm, textbook_2bit_fsm
+from repro.bpu.fsm import (
+    FSMSpec,
+    State,
+    skylake_fsm,
+    textbook_2bit_fsm,
+    three_bit_fsm,
+)
 from repro.bpu.ghr import GlobalHistoryRegister
+from repro.bpu.hashes import validate_hash
 from repro.bpu.hybrid import HybridPredictor
 from repro.bpu.pht import PatternHistoryTable
 from repro.bpu.selector import SelectorTable
@@ -39,6 +70,9 @@ __all__ = [
     "skylake",
     "haswell",
     "sandy_bridge",
+    "tage_like",
+    "firestorm_like",
+    "oryon_like",
     "PRESETS",
 ]
 
@@ -74,9 +108,13 @@ class PredictorConfig:
     fsm_factory: Callable[[], FSMSpec] = textbook_2bit_fsm
     #: State every PHT entry powers up in.
     initial_state: State = State.WN
+    #: PHT index function (:data:`repro.bpu.hashes.INDEX_HASHES` name):
+    #: ``"mod"`` for the Intel parts, ``"fold"`` for the Arm-flavoured zoo.
+    index_hash: str = "mod"
 
     def build(self) -> HybridPredictor:
         """Construct a fresh predictor with this geometry."""
+        validate_hash(self.index_hash)
         fsm = self.fsm_factory()
         ghr = GlobalHistoryRegister(self.ghr_bits)
         return HybridPredictor(
@@ -94,6 +132,7 @@ class PredictorConfig:
             ),
             bit=BranchIdentificationTable(self.bit_sets),
             btb=BranchTargetBuffer(self.btb_sets),
+            index_hash=self.index_hash,
         )
 
     @property
@@ -164,9 +203,86 @@ def sandy_bridge() -> PredictorConfig:
     )
 
 
-#: All paper-evaluated microarchitectures, keyed by the Table 2 labels.
-PRESETS = {
-    "skylake": skylake,
-    "haswell": haswell,
-    "sandy_bridge": sandy_bridge,
-}
+def tage_like() -> PredictorConfig:
+    """Generic TAGE-flavoured model: 3-bit counters, long history.
+
+    Not one specific CPU — the structural family modern high-end cores
+    use (tagged geometric history lengths; here the hybrid skeleton with
+    the deeper-hysteresis FSM and a 20-branch history stands in for the
+    longest useful TAGE table).
+    """
+    return PredictorConfig(
+        name="tage-like-generic",
+        bimodal_entries=16384,
+        gshare_entries=16384,
+        ghr_bits=20,
+        selector_entries=4096,
+        selector_initial=1,
+        bit_sets=2048,
+        btb_sets=4096,
+        fsm_factory=three_bit_fsm,
+    )
+
+
+def firestorm_like() -> PredictorConfig:
+    """Apple Firestorm model (arXiv:2411.13900): huge tables, 24-bit history."""
+    return PredictorConfig(
+        name="firestorm-like-m1",
+        bimodal_entries=32768,
+        gshare_entries=32768,
+        ghr_bits=24,
+        selector_entries=4096,
+        selector_initial=2,
+        bit_sets=4096,
+        btb_sets=8192,
+        fsm_factory=three_bit_fsm,
+    )
+
+
+def oryon_like() -> PredictorConfig:
+    """Qualcomm Oryon model (arXiv:2411.13900, 2412.05413): folded index.
+
+    Mid-sized tables behind an XOR fold of upper address bits
+    (``index_hash="fold"``), so low-order address congruence alone does
+    not produce a PHT collision — the property the Arm BTB paper had to
+    reverse-engineer around, and the one the fuzzer's collision probes
+    detect.
+    """
+    return PredictorConfig(
+        name="oryon-like-x-elite",
+        bimodal_entries=8192,
+        gshare_entries=8192,
+        ghr_bits=16,
+        selector_entries=2048,
+        selector_initial=1,
+        bit_sets=2048,
+        btb_sets=4096,
+        fsm_factory=textbook_2bit_fsm,
+        index_hash="fold",
+    )
+
+
+class PresetRegistry(Dict[str, Callable[[], PredictorConfig]]):
+    """The preset registry; unknown names fail with the valid names listed."""
+
+    def __missing__(self, key: str) -> Callable[[], PredictorConfig]:
+        raise KeyError(
+            f"unknown preset {key!r}; valid presets: "
+            + ", ".join(sorted(self))
+        )
+
+
+#: The single preset registry: paper-evaluated microarchitectures keyed
+#: by their Table 2 labels, plus the zoo.  Every consumer (CLI choices,
+#: ``CampaignSpec`` validation, benches, the fuzzer's oracle) resolves
+#: names here — new presets join this dict and nothing else.
+PRESETS: PresetRegistry = PresetRegistry(
+    {
+        "skylake": skylake,
+        "haswell": haswell,
+        "sandy_bridge": sandy_bridge,
+        "tage_like": tage_like,
+        "firestorm_like": firestorm_like,
+        "oryon_like": oryon_like,
+    }
+)

@@ -150,6 +150,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="sleep per trial (chaos/CI hook: makes mid-run kills easy)",
     )
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help=(
+            "reverse-engineer a preset's predictor geometry from probe "
+            "signatures alone (generations run through the campaign "
+            "service; resumable and store-served over --root)"
+        ),
+    )
+    fuzz.add_argument("--preset", choices=PRESETS, default="sandy_bridge")
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--generations", type=int, default=6)
+    fuzz.add_argument("--shards", type=int, default=4)
+    fuzz.add_argument("--workers", type=int, default=None)
+    fuzz.add_argument(
+        "--root",
+        default=None,
+        help=(
+            "service root (content store + checkpoints); a re-run over "
+            "the same root resumes killed generations and serves "
+            "completed ones from the store"
+        ),
+    )
+    fuzz.add_argument(
+        "--trial-delay",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="sleep per trial (chaos/CI hook: makes mid-run kills easy)",
+    )
+    fuzz.add_argument(
+        "--expect-truth",
+        action="store_true",
+        help=(
+            "exit nonzero unless the verdict converged to the preset's "
+            "true geometry (the closed-loop self-test)"
+        ),
+    )
+
     serve = sub.add_parser(
         "serve",
         help=(
@@ -506,6 +544,48 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz import run_fuzz
+
+    pre_trial = None
+    if args.trial_delay > 0:
+        delay = args.trial_delay
+
+        def pre_trial(_index: int) -> None:
+            time.sleep(delay)
+
+    verdict = run_fuzz(
+        args.preset,
+        seed=args.seed,
+        generations=args.generations,
+        shards=args.shards,
+        workers=args.workers,
+        root=args.root,
+        pre_trial=pre_trial,
+        log=print,
+    )
+    for hypothesis in verdict.survivors:
+        print(
+            f"survivor: table={hypothesis.table_entries} "
+            f"hash={hypothesis.index_hash} fsm={hypothesis.fsm_name} "
+            f"ghr={hypothesis.ghr_bits}"
+        )
+    print(
+        f"{args.preset}: {verdict.generations_run} generations, "
+        f"{verdict.n_trials} trials, {len(verdict.survivors)} "
+        f"hypothesis(es) alive (resumed shards: {verdict.resumed_shards}, "
+        f"store-served shards: {verdict.cached_shards})"
+    )
+    print(f"verdict digest: {verdict.digest()}")
+    if args.expect_truth and not verdict.matches_truth():
+        print(
+            "verdict does not match the preset's true geometry",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.service import serve
 
@@ -567,6 +647,7 @@ _COMMANDS = {
     "pht-size": _cmd_pht_size,
     "poison": _cmd_poison,
     "campaign": _cmd_campaign,
+    "fuzz": _cmd_fuzz,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "trace": _cmd_trace,

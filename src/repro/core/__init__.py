@@ -62,6 +62,12 @@ from repro.core.pht_map import (
 from repro.core.poisoning import poison_branch, poisoning_experiment
 from repro.core.prime_probe import prime_direct, prime_sequence_for, probe_pair
 from repro.core.randomizer import CompiledBlock, RandomizationBlock
+from repro.core.support import (
+    batch_assess_fallback_reason,
+    batch_assess_supported,
+    batch_scan_fallback_reason,
+    manycore_fallback_reason,
+)
 from repro.core.timing_detect import (
     TimingCalibration,
     latency_experiment,
@@ -87,9 +93,13 @@ __all__ = [
     "TrialPlan",
     "assess_block",
     "assess_block_batch",
+    "batch_assess_fallback_reason",
+    "batch_assess_supported",
     "batch_decode_states",
     "batch_probe_signatures",
+    "batch_scan_fallback_reason",
     "batch_scan_supported",
+    "manycore_fallback_reason",
     "btb_direction_spy",
     "btb_locate_branch",
     "build_dictionary",

@@ -58,10 +58,11 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.bpu.hashes import fold_history
 from repro.core.patterns import DecodedState, state_signatures
+from repro.core.support import batch_scan_supported
 from repro.cpu.core import PhysicalCore
 from repro.cpu.process import Process
-from repro.mitigations.base import Mitigation
 
 __all__ = [
     "batch_scan_supported",
@@ -69,24 +70,11 @@ __all__ = [
     "batch_decode_states",
 ]
 
-#: Hooks whose override makes the probe observation stochastic; any
-#: mitigation overriding one of these forces the scalar reference path.
-_OBSERVATION_HOOKS = ("perturb_counter", "update_outcome")
-
-
-def batch_scan_supported(core: PhysicalCore) -> bool:
-    """Whether the batch engine is exact for this core's mitigations.
-
-    True iff no installed mitigation overrides a hook that perturbs the
-    probe *observation* (counter noise) or the training outcome
-    (stochastic FSM).  Index/suppression hooks are handled exactly by the
-    engine's pre-pass and do not disqualify.
-    """
-    for mitigation in core.mitigations:
-        for hook in _OBSERVATION_HOOKS:
-            if getattr(type(mitigation), hook) is not getattr(Mitigation, hook):
-                return False
-    return True
+# The support predicate (one shared home for every engine's gating
+# conditions, repro.core.support) is re-exported here because this
+# engine is its original owner and existing callers import it from
+# here.  Since the zoo landed it also covers the index-hash condition:
+# the inline `mixed % n` replay below is only exact for "mod" presets.
 
 
 def _collect_hooks(
@@ -161,13 +149,16 @@ def _probe_variant(
     step_b = bimodal.fsm.step_table
     step_g = gshare.fsm.step_table
     h = predictor.ghr.value
-    ghr_mask = (1 << predictor.ghr.length) - 1
+    ghr_len = predictor.ghr.length
+    ghr_mask = (1 << ghr_len) - 1
+    n_g = gshare.n_entries
+    hf = fold_history(h, ghr_len, n_g)
 
     # -- branch 1 -----------------------------------------------------------
     st1 = static_all[slot1]
     key1 = key_all[slot1]
     bi1 = offset_all[slot1] + ((addresses ^ key1) % size_b_all[slot1])
-    gi1 = offset_all[slot1] + ((addresses ^ h ^ key1) % size_g_all[slot1])
+    gi1 = offset_all[slot1] + ((addresses ^ hf ^ key1) % size_g_all[slot1])
     lvl_b1 = levels_b[bi1]
     lvl_g1 = levels_g[gi1]
     bt1 = bimodal.fsm.predicts_array(lvl_b1)
@@ -194,13 +185,14 @@ def _probe_variant(
     )
     c1 = np.where(updated1, np.where(cold1, selector._initial, mcfarling), c0)
     h2 = np.where(updated1, ((h << 1) | o) & ghr_mask, h)
+    hf2 = fold_history(h2, ghr_len, n_g)
     cold2 = np.where(updated1, False, cold1)
 
     # -- branch 2 -----------------------------------------------------------
     st2 = static_all[slot2]
     key2 = key_all[slot2]
     bi2 = offset_all[slot2] + ((addresses ^ key2) % size_b_all[slot2])
-    gi2 = offset_all[slot2] + ((addresses ^ h2 ^ key2) % size_g_all[slot2])
+    gi2 = offset_all[slot2] + ((addresses ^ hf2 ^ key2) % size_g_all[slot2])
     lvl_b2 = np.where(updated1 & (bi2 == bi1), stepped_b1, levels_b[bi2])
     lvl_g2 = np.where(updated1 & (gi2 == gi1), stepped_g1, levels_g[gi2])
     bt2 = bimodal.fsm.predicts_array(lvl_b2)

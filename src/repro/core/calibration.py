@@ -58,8 +58,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.batch_probe import batch_scan_supported
 from repro.core.patterns import DecodedState, decode_state
+from repro.core.support import (
+    batch_assess_fallback_reason,
+    batch_assess_supported,
+    scalar_engine_forced,
+)
 from repro.core.prime_probe import probe_pair
 from repro.core.randomizer import (
     PAPER_BLOCK_BRANCHES,
@@ -68,7 +72,6 @@ from repro.core.randomizer import (
 )
 from repro.cpu.core import PhysicalCore
 from repro.cpu.process import Process
-from repro.cpu.timing import TimingModel
 from repro.obs import trace as obs
 from repro.parallel import TrialPool, resolve_workers, spawn_seeds
 from repro.resilience.checkpoint import (
@@ -376,8 +379,9 @@ def assess_block_batch(
     core state *and* the RNG stream positions are all identical, and
     callers may mix the two engines freely.  When a mitigation perturbs
     the observation itself (a stochastic FSM, a noisy counter — the
-    :func:`~repro.core.batch_probe.batch_scan_supported` predicate, same
-    contract as the §6.3 batch scan) or the core runs a custom
+    :func:`~repro.core.support.batch_scan_supported` predicate, same
+    contract as the §6.3 batch scan), the preset uses a non-modulo
+    index hash, or the core runs a custom
     :class:`~repro.cpu.timing.TimingModel` subclass (whose draw pattern
     the replay could not mirror), this transparently runs the scalar
     engine instead.
@@ -388,13 +392,10 @@ def assess_block_batch(
     entirely (this is the >=10x trial fast path), and a custom timing
     model no longer forces the scalar fallback.
     """
-    supported = batch_scan_supported(core) and (
-        plan is not None or type(core.timing) is TimingModel
-    )
-    if not supported:
+    if not batch_assess_supported(core, plan):
         obs.record_scalar_fallback(
             "calibration_batch",
-            "mitigation" if not batch_scan_supported(core) else "custom_timing",
+            batch_assess_fallback_reason(core, plan) or "custom_timing",
         )
         return assess_block(
             core,
@@ -503,13 +504,11 @@ def find_block(
         or checkpoint is not None
         or not (workers is None and n_workers == 1)
     )
-    # Every pooled assessment carries a plan, so only the mitigation half
-    # of the fallback predicate can disable the batch engine there; the
-    # serial path (no plan) also falls back on a custom timing model.
-    scalar_forced = fast and not (
-        batch_scan_supported(core)
-        and (type(core.timing) is TimingModel or pooled)
-    )
+    # Every pooled assessment carries a plan, so only the mitigation and
+    # index-hash parts of the fallback predicate can disable the batch
+    # engine there; the serial path (no plan) also falls back on a
+    # custom timing model.
+    scalar_forced = fast and scalar_engine_forced(core, pooled=pooled)
     fallbacks_before = obs.scalar_fallback_counts().get("calibration_batch", 0)
     tracer = obs.TRACER
     if tracer is not None:

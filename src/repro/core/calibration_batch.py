@@ -83,6 +83,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro import kernels
+from repro.bpu.hashes import fold_history
 from repro.core.calibration import BlockAssessment, TrialPlan, _dominant_counts
 from repro.core.randomizer import CompiledBlock
 from repro.cpu.core import PhysicalCore
@@ -531,12 +532,13 @@ def _stream_loop(core, spy, T, R, plan, noise, rng, ghr_end):
                     key = 0
                     partition = None
                 mixed = T ^ key
+                ghr_folded = fold_history(ghr_val, ghr_len, n_g)
                 if partition is not None:
                     row_b[j] = partition.confine(mixed)
-                    row_g[j] = partition.confine(T ^ ghr_val ^ key)
+                    row_g[j] = partition.confine(T ^ ghr_folded ^ key)
                 else:
                     row_b[j] = mixed % n_b
-                    row_g[j] = (T ^ ghr_val ^ key) % n_g
+                    row_g[j] = (T ^ ghr_folded ^ key) % n_g
                 ghr_val = ((ghr_val << 1) | int(outcomes[r, j])) & ghr_mask
             if replay:
                 cold = not warm
@@ -627,8 +629,8 @@ def _closed_form(plan, T, R, n_b, n_g, ghr_start, ghr_end, ghr_len):
     ghr_scramble = ((starts[:, None] << np.arange(d)) | prefix) & mask
 
     g_idx = np.zeros((R2, n_slots), dtype=np.int64)
-    g_idx[:, :d] = (T ^ ghr_scramble) % n_g
-    g_idx[:, d] = (T ^ after_noise) % n_g
+    g_idx[:, :d] = (T ^ fold_history(ghr_scramble, ghr_len, n_g)) % n_g
+    g_idx[:, d] = (T ^ fold_history(after_noise, ghr_len, n_g)) % n_g
     second = ((after_noise << 1) | outcomes[:, d]) & mask
-    g_idx[:, d + 1] = (T ^ second) % n_g
+    g_idx[:, d + 1] = (T ^ fold_history(second, ghr_len, n_g)) % n_g
     return static, outcomes, b_idx, g_idx, offsets, plan.bulk

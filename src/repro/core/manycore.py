@@ -59,7 +59,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.batch_probe import batch_scan_supported
+from repro.bpu.hashes import apply_hash
 from repro.core.calibration import (
     BlockAssessment,
     TrialPlan,
@@ -68,6 +68,7 @@ from repro.core.calibration import (
 )
 from repro.core.calibration_batch import _closed_form
 from repro.core.randomizer import CompiledBlock, RandomizationBlock
+from repro.core.support import manycore_fallback_reason
 from repro.cpu.core import PhysicalCore
 from repro import kernels
 from repro import store as repro_store
@@ -996,21 +997,12 @@ def manycore_supported(
 ) -> Optional[str]:
     """Why the manycore closed-form engine is inexact for ``core``.
 
-    Returns ``None`` when supported, else the fallback reason:
-    ``"mitigation"`` for any installed mitigation (index hooks would
-    have to run per branch per instance; observation hooks fail
-    :func:`~repro.core.batch_probe.batch_scan_supported` as in the
-    per-trial engines) or ``"unshared_structure"`` when the two PHTs do
-    not share one FSM instance or ``gaps`` contains an empty noise gap
-    (the closed-form GHR then depends on the per-block ``ghr_end``).
+    Returns ``None`` when supported, else the fallback reason —
+    ``"mitigation"``, ``"index_hash"`` or ``"unshared_structure"``; the
+    conditions live in the shared predicate home,
+    :func:`repro.core.support.manycore_fallback_reason`.
     """
-    if len(core.mitigations) > 0 or not batch_scan_supported(core):
-        return "mitigation"
-    if core.predictor.bimodal.pht.fsm is not core.predictor.gshare.pht.fsm:
-        return "unshared_structure"
-    if gaps is not None and bool((np.asarray(gaps) == 0).any()):
-        return "unshared_structure"
-    return None
+    return manycore_fallback_reason(core, gaps, instance_shared=True)
 
 
 class ManycoreCampaignPool:
@@ -1093,10 +1085,12 @@ class ManycoreCampaignPool:
         _GROUP_STATS["campaigns"] += 1
         template = self.core_factory()
         reason = manycore_supported(template)
-        if reason == "mitigation":
-            # Index/observation hooks must run inside the caller's
-            # closure (they may be stateful across the whole trial);
-            # delegate wholesale.
+        if reason in ("mitigation", "index_hash"):
+            # Mitigation index/observation hooks must run inside the
+            # caller's closure (they may be stateful across the whole
+            # trial), and a non-modulo preset's probe arithmetic is not
+            # this engine's; delegate wholesale either way — the trial
+            # closure's compiler is hash-aware.
             self._mode = "fn"
             self._fallback_reason = reason
             return
@@ -1148,12 +1142,12 @@ class ManycoreCampaignPool:
     # -- grouped mode ------------------------------------------------------
 
     def _payload_reason(self, core: PhysicalCore) -> Optional[str]:
-        """Per-payload inexactness reason inside a grouped campaign."""
-        if len(core.mitigations) > 0 or not batch_scan_supported(core):
-            return "mitigation"
-        if core.predictor.bimodal.pht.fsm != core.predictor.gshare.pht.fsm:
-            return "unshared_structure"
-        return None
+        """Per-payload inexactness reason inside a grouped campaign.
+
+        Relaxes the FSM condition to spec equality — distinct instances
+        are exactly what the grouped engine exists to handle.
+        """
+        return manycore_fallback_reason(core, instance_shared=False)
 
     def _replica_trial(self, core: PhysicalCore, seed: int) -> BlockAssessment:
         """The reference trial closure, replayed on an already-built core.
@@ -1385,6 +1379,10 @@ class ManycoreFindPool:
         self._fsm = fsm
         self._monoid = fsm.transition_monoid()
         self._n_b = core.predictor.bimodal.pht.n_entries
+        # The screen and the in-trial fold must select the same branch
+        # subset, so the mask applies the preset's own index hash (the
+        # zoo's fold presets pre-screen just as well as the Intel ones).
+        self._index_hash = core.predictor.bimodal.index_hash
         self._tb = core.predictor.bimodal.index(target_address, 0, None)
         self._desired_name = desired_state.value
 
@@ -1394,9 +1392,8 @@ class ManycoreFindPool:
             seed, n_branches=self._block_branches
         )
         monoid = self._monoid
-        ids = monoid.outcome_id_sequence(
-            block.outcomes[block.addresses % self._n_b == self._tb]
-        )
+        indices = apply_hash(self._index_hash, block.addresses, self._n_b)
+        ids = monoid.outcome_id_sequence(block.outcomes[indices == self._tb])
         row = monoid.maps[monoid.reduce(ids)]
         if not (row == row[0]).all():
             return False

@@ -31,6 +31,7 @@ from repro.core.batch_probe import (
     batch_scan_supported,
 )
 from repro.core.patterns import DecodedState, decode_state
+from repro.core.support import batch_scan_fallback_reason
 from repro.core.prime_probe import probe_pair
 from repro.core.randomizer import CompiledBlock
 from repro.cpu.core import PhysicalCore
@@ -102,13 +103,17 @@ def scan_states(
     supported = batch_scan_supported(core)
     if method == "batch" and not supported:
         raise ValueError(
-            "batch scan is not exact under an installed mitigation "
-            "(noisy counters / stochastic FSM); use method='auto'"
+            "batch scan is not exact for this core "
+            f"({batch_scan_fallback_reason(core)}: an installed mitigation's "
+            "noisy counters / stochastic FSM, or a non-modulo index hash); "
+            "use method='auto'"
         )
     if method == "reference" or not supported:
         fallbacks = 0
         if method == "auto":
-            obs.record_scalar_fallback("batch_probe", "mitigation")
+            obs.record_scalar_fallback(
+                "batch_probe", batch_scan_fallback_reason(core) or "mitigation"
+            )
             fallbacks = 1
         return ScanResult(
             scan_states_reference(

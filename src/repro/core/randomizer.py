@@ -68,6 +68,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro import kernels
+from repro.bpu.hashes import apply_hash, fold_history
 from repro.cpu.core import BranchExecution, PhysicalCore
 from repro.cpu.counters import CounterKind
 from repro.cpu.process import Process
@@ -175,6 +176,10 @@ def _store_key(block_fingerprint: str, core, key, partition) -> str:
     config = core.config
     return repro_store.store_key(
         "compiled_block",
+        # Index-semantics schema: bumped when the gshare index function
+        # itself changes meaning (v2 = folded long history), so a store
+        # populated before the change can never serve a stale gshare_map.
+        schema="gshare-index-v2",
         block=block_fingerprint,
         config=(
             config.name,
@@ -188,6 +193,7 @@ def _store_key(block_fingerprint: str, core, key, partition) -> str:
             config.selector_bits,
             repr(config.fsm),
             repr(config.initial_state),
+            config.index_hash,
         ),
         key=key,
         partition=repr(partition),
@@ -290,7 +296,12 @@ class RandomizationBlock:
         return windows[:n] @ weights
 
     def _mapped_indices(
-        self, key: int, partition, n_entries: int, xor: int = 0
+        self,
+        key: int,
+        partition,
+        n_entries: int,
+        xor: int = 0,
+        index_hash: str = "mod",
     ) -> np.ndarray:
         """Vectorised PHT indices for every block branch."""
         mixed = self.addresses ^ xor ^ key
@@ -298,7 +309,7 @@ class RandomizationBlock:
             return (partition.offset + (mixed % partition.size)).astype(
                 np.int64
             )
-        return (mixed % n_entries).astype(np.int64)
+        return apply_hash(index_hash, mixed, n_entries).astype(np.int64)
 
     def entry_fold(
         self, core: PhysicalCore, process: Process, address: int
@@ -316,7 +327,9 @@ class RandomizationBlock:
         monoid = predictor.bimodal.pht.fsm.transition_monoid()
         n_entries = predictor.bimodal.pht.n_entries
         target = predictor.bimodal.index(address, key, partition)
-        indices = self._mapped_indices(key, partition, n_entries)
+        indices = self._mapped_indices(
+            key, partition, n_entries, index_hash=predictor.bimodal.index_hash
+        )
         ids = monoid.outcome_id_sequence(self.outcomes[indices == target])
         return monoid.maps[monoid.reduce(ids)].copy()
 
@@ -378,18 +391,27 @@ class RandomizationBlock:
         monoid = predictor.bimodal.pht.fsm.transition_monoid()
 
         bimodal_indices = self._mapped_indices(
-            key, partition, predictor.bimodal.pht.n_entries
+            key,
+            partition,
+            predictor.bimodal.pht.n_entries,
+            index_hash=predictor.bimodal.index_hash,
         )
         bimodal_map = monoid.fold_table(
             bimodal_indices, self.outcomes, predictor.bimodal.pht.n_entries
         )
 
         ghr_bits = predictor.ghr.length
-        trajectory = self.ghr_trajectory(ghr_bits)
         gshare_n = predictor.gshare.pht.n_entries
+        # Long history folds down to index width before mixing — must
+        # match the scalar predictor's gshare.index() bit for bit.
+        trajectory = fold_history(
+            self.ghr_trajectory(ghr_bits), ghr_bits, gshare_n
+        )
         mixed = self.addresses ^ trajectory ^ key
         if partition is None:
-            gshare_indices = (mixed % gshare_n).astype(np.int64)
+            gshare_indices = apply_hash(
+                predictor.gshare.index_hash, mixed, gshare_n
+            ).astype(np.int64)
         else:
             gshare_indices = (
                 partition.offset + (mixed % partition.size)

@@ -1,0 +1,172 @@
+"""Shared engine-support predicates.
+
+Every vectorised engine in the repo (the §6.3 batch probe scan, the
+calibration batch assessor, the manycore struct-of-arrays campaign
+backend) is an *exactness-gated* fast path: it runs only when it can be
+bit-identical to the scalar reference, and falls back otherwise.  The
+gating conditions used to live as near-duplicated predicates inside each
+engine (ROADMAP item 3's "scattered special-case predicates"); this
+module is now the single home for them, so a new disqualifier — like the
+zoo's non-modulo ``index_hash`` — is added exactly once and every engine
+picks it up.
+
+Three independent conditions, composed per engine:
+
+* **observation hooks** — a mitigation overriding ``perturb_counter``
+  (noisy counters) or ``update_outcome`` (stochastic FSM) makes the
+  probe observation stochastic; no batch engine can replay it.
+* **index hash** — the batch probe/assess inner loops compute PHT
+  indices with the Intel ``mixed % n`` formula inline; a preset using a
+  different :mod:`repro.bpu.hashes` entry (the Arm-flavoured ``"fold"``)
+  must take the scalar path, whose indices go through the predictor
+  objects.  (The block *compiler* is hash-aware, so scalar trials on
+  fold presets keep their vectorised block application.)
+* **timing / plan** — the batch assessor samples the timing model
+  analytically; a custom :class:`~repro.cpu.timing.TimingModel` subclass
+  with its own draw pattern needs a pre-drawn trial plan to stay
+  RNG-exact.
+
+The reason strings (``"mitigation"``, ``"index_hash"``,
+``"custom_timing"``, ``"unshared_structure"``) feed
+``repro.obs.record_scalar_fallback`` so operators can see *why* an
+engine degraded, not just that it did.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cpu.core import PhysicalCore
+from repro.cpu.timing import TimingModel
+from repro.mitigations.base import Mitigation
+
+__all__ = [
+    "OBSERVATION_HOOKS",
+    "observation_hooks_clean",
+    "index_hash_batchable",
+    "batch_scan_supported",
+    "batch_scan_fallback_reason",
+    "batch_assess_supported",
+    "batch_assess_fallback_reason",
+    "scalar_engine_forced",
+    "manycore_fallback_reason",
+]
+
+#: Hooks whose override makes the probe observation stochastic; any
+#: mitigation overriding one of these forces the scalar reference path.
+OBSERVATION_HOOKS = ("perturb_counter", "update_outcome")
+
+
+def observation_hooks_clean(core: PhysicalCore) -> bool:
+    """No installed mitigation overrides an observation hook."""
+    for mitigation in core.mitigations:
+        for hook in OBSERVATION_HOOKS:
+            if getattr(type(mitigation), hook) is not getattr(Mitigation, hook):
+                return False
+    return True
+
+
+def index_hash_batchable(core: PhysicalCore) -> bool:
+    """Both component predictors use the inline-replayable ``"mod"`` hash."""
+    predictor = core.predictor
+    return (
+        predictor.bimodal.index_hash == "mod"
+        and predictor.gshare.index_hash == "mod"
+    )
+
+
+def batch_scan_supported(core: PhysicalCore) -> bool:
+    """Whether the batch probe engine is exact for this core.
+
+    True iff no installed mitigation overrides a hook that perturbs the
+    probe *observation* (counter noise) or the training outcome
+    (stochastic FSM), and the preset's index hash is the modulo the
+    engine replays inline.  Index/suppression mitigation hooks are
+    handled exactly by the engine's pre-pass and do not disqualify.
+    """
+    return observation_hooks_clean(core) and index_hash_batchable(core)
+
+
+def batch_scan_fallback_reason(core: PhysicalCore) -> Optional[str]:
+    """Why the batch probe engine would fall back (``None`` = it won't)."""
+    if not observation_hooks_clean(core):
+        return "mitigation"
+    if not index_hash_batchable(core):
+        return "index_hash"
+    return None
+
+
+def batch_assess_supported(core: PhysicalCore, plan=None) -> bool:
+    """Whether the vectorised calibration assessor is exact for this core.
+
+    On top of :func:`batch_scan_supported`, the assessor samples probe
+    timing itself, so without a pre-drawn trial plan it also requires the
+    base :class:`~repro.cpu.timing.TimingModel` (an exact subclass could
+    draw differently and shift the RNG stream).
+    """
+    return batch_scan_supported(core) and (
+        plan is not None or type(core.timing) is TimingModel
+    )
+
+
+def batch_assess_fallback_reason(core: PhysicalCore, plan=None) -> Optional[str]:
+    """Why the vectorised assessor would fall back (``None`` = it won't)."""
+    reason = batch_scan_fallback_reason(core)
+    if reason is not None:
+        return reason
+    if plan is None and type(core.timing) is not TimingModel:
+        return "custom_timing"
+    return None
+
+
+def scalar_engine_forced(core: PhysicalCore, *, pooled: bool) -> bool:
+    """Whether ``find_block``'s fast path must run the scalar assessor.
+
+    The fast path needs the batch assessor; a pooled run pre-draws trial
+    plans (so a custom timing model is fine), a non-pooled run does not.
+    """
+    return not (
+        batch_scan_supported(core)
+        and (type(core.timing) is TimingModel or pooled)
+    )
+
+
+def manycore_fallback_reason(
+    core: PhysicalCore,
+    gaps: Optional[np.ndarray] = None,
+    *,
+    instance_shared: bool = True,
+) -> Optional[str]:
+    """Why the manycore closed-form engine is inexact for ``core``.
+
+    Returns ``None`` when supported, else the fallback reason:
+
+    * ``"mitigation"`` — any installed mitigation (index hooks would
+      have to run per branch per instance; observation hooks fail
+      :func:`observation_hooks_clean` as in the per-trial engines);
+    * ``"index_hash"`` — a non-modulo preset: the engine's probe and
+      noise index arithmetic is the Intel modulo, so zoo presets like
+      ``oryon_like`` delegate to the (hash-aware) trial closure;
+    * ``"unshared_structure"`` — the two PHTs do not share one FSM
+      (``instance_shared=True`` demands one shared *instance*, the
+      shared-structure premise; ``False`` relaxes to spec equality, the
+      grouped engine's per-payload requirement) or ``gaps`` contains an
+      empty noise gap (the closed-form GHR then depends on the
+      per-block ``ghr_end``).
+    """
+    if len(core.mitigations) > 0 or not observation_hooks_clean(core):
+        return "mitigation"
+    if not index_hash_batchable(core):
+        return "index_hash"
+    bimodal_fsm = core.predictor.bimodal.pht.fsm
+    gshare_fsm = core.predictor.gshare.pht.fsm
+    if instance_shared:
+        if bimodal_fsm is not gshare_fsm:
+            return "unshared_structure"
+    elif bimodal_fsm != gshare_fsm:
+        return "unshared_structure"
+    if gaps is not None and bool((np.asarray(gaps) == 0).any()):
+        return "unshared_structure"
+    return None

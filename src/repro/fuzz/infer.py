@@ -1,0 +1,372 @@
+"""Hypothesis lattice and exact simulators for the fuzzer.
+
+A **hypothesis** names one point in the geometry lattice the fuzzer
+searches: direction-table size, PHT index hash, per-entry FSM variant
+and global-history length — the four dimensions BranchScope's §6.3
+methodology (and the Arm follow-up papers) recover by hand.  The
+default lattice is the full cross product (120 candidates), which
+includes the true geometry of every :data:`repro.bpu.presets.PRESETS`
+entry.
+
+Elimination is *exact simulation*: for each hypothesis the fuzzer runs
+the candidate hybrid predictor over the program and predicts the
+observed hit bits.  One structural parameter is deliberately **not** in
+the lattice: the selector's initial bias (1 or 2 across the zoo).  It
+is handled as a nuisance by **dual simulation** — every program is
+simulated under both plausible initial biases, and only bits on which
+the two runs *agree* may eliminate a hypothesis.  Soundness: the true
+geometry simulated under the true bias reproduces the oracle exactly
+(the simulator models every structure these program families can
+excite — see the family notes in :mod:`repro.fuzz.generate`), so on
+any agreed bit the predicted value equals the observation and the true
+hypothesis survives every observation.  Disagreeing (selector-
+sensitive) bits simply carry no evidence.
+
+Two simulator implementations with one contract:
+
+* :func:`simulate_program` — dict-based scalar reference, one
+  hypothesis at a time; the readable spec.
+* :class:`HypothesisBank` — struct-of-arrays over all K hypotheses at
+  once (same layout discipline as :mod:`repro.core.manycore`): the
+  outcome-determined GHR trajectory and all PHT indices are
+  precomputed, per-hypothesis indices are compressed to dense slots,
+  FSM transitions become padded table lookups, and the per-step work is
+  a handful of length-K vector ops.  ``tests/test_fuzz.py`` pins the
+  two bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bpu.fsm import (
+    FSMSpec,
+    State,
+    skylake_fsm,
+    textbook_2bit_fsm,
+    three_bit_fsm,
+)
+from repro.bpu.hashes import apply_hash, fold_history
+from repro.fuzz.generate import (
+    CANDIDATE_HISTORY_BITS,
+    CANDIDATE_TABLE_SIZES,
+    BranchProgram,
+)
+
+__all__ = [
+    "FSM_VARIANTS",
+    "Hypothesis",
+    "HypothesisBank",
+    "HypothesisLattice",
+    "SELECTOR_INITIALS",
+    "default_lattice",
+    "simulate_program",
+]
+
+#: FSM variant name -> spec factory.  The fuzzer's third dimension.
+FSM_VARIANTS: Dict[str, Callable[[], FSMSpec]] = {
+    "textbook": textbook_2bit_fsm,
+    "skylake": skylake_fsm,
+    "three_bit": three_bit_fsm,
+}
+
+#: Selector initial biases the zoo uses; the dual-simulation nuisance set.
+SELECTOR_INITIALS: Tuple[int, ...] = (1, 2)
+
+#: Saturation value of the 3-bit choice counters (gshare takeover).
+_SELECTOR_MAX = 7
+
+
+@dataclass(frozen=True)
+class Hypothesis:
+    """One candidate geometry: the four recoverable dimensions."""
+
+    table_entries: int
+    index_hash: str
+    fsm_name: str
+    ghr_bits: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "table_entries": self.table_entries,
+            "index_hash": self.index_hash,
+            "fsm_name": self.fsm_name,
+            "ghr_bits": self.ghr_bits,
+        }
+
+
+def default_lattice() -> Tuple[Hypothesis, ...]:
+    """The full cross product: 4 sizes × 2 hashes × 3 FSMs × 5 histories."""
+    return tuple(
+        Hypothesis(size, index_hash, fsm_name, ghr_bits)
+        for size, index_hash, fsm_name, ghr_bits in product(
+            CANDIDATE_TABLE_SIZES,
+            ("mod", "fold"),
+            sorted(FSM_VARIANTS),
+            CANDIDATE_HISTORY_BITS,
+        )
+    )
+
+
+def simulate_program(
+    program: BranchProgram,
+    hypothesis: Hypothesis,
+    selector_initial: int,
+) -> Tuple[bool, ...]:
+    """Scalar reference: the hit bits ``hypothesis`` predicts.
+
+    An exact model of :class:`~repro.bpu.hybrid.HybridPredictor` for
+    the fuzzer's program families: bimodal and gshare PHTs (both at the
+    hypothesis size, behind the hypothesis index hash), the truncated
+    GHR, per-address choice counters with the McFarling update, and
+    identity-based cold detection (a program address is "new" until its
+    first execution — equivalent to the identification table for these
+    families, see :mod:`repro.fuzz.generate`).
+    """
+    fsm = FSM_VARIANTS[hypothesis.fsm_name]()
+    init = fsm.level_for(State.WN)
+    n = hypothesis.table_entries
+    mask = (1 << hypothesis.ghr_bits) - 1
+    bimodal: Dict[int, int] = {}
+    gshare: Dict[int, int] = {}
+    counters: Dict[int, int] = {}
+    seen = set()
+    ghr = 0
+    observed = set(program.observed)
+    hits: List[bool] = []
+    for step, (address, taken) in enumerate(
+        zip(program.addresses, program.outcomes)
+    ):
+        bi = int(apply_hash(hypothesis.index_hash, address, n))
+        folded = fold_history(ghr & mask, hypothesis.ghr_bits, n)
+        gi = int(apply_hash(hypothesis.index_hash, address ^ folded, n))
+        b_level = bimodal.get(bi, init)
+        g_level = gshare.get(gi, init)
+        b_taken = fsm.predicts(b_level)
+        g_taken = fsm.predicts(g_level)
+        cold = address not in seen
+        use_gshare = (
+            not cold
+            and counters.get(address, selector_initial) >= _SELECTOR_MAX
+        )
+        predicted = g_taken if use_gshare else b_taken
+        if step in observed:
+            hits.append(predicted == taken)
+        # Resolve: train both PHTs, selector, history, seen-set.
+        bimodal[bi] = fsm.step(b_level, taken)
+        gshare[gi] = fsm.step(g_level, taken)
+        if cold:
+            counters[address] = selector_initial
+        else:
+            b_correct = b_taken == taken
+            g_correct = g_taken == taken
+            if b_correct != g_correct:
+                old = counters.get(address, selector_initial)
+                counters[address] = (
+                    min(_SELECTOR_MAX, old + 1)
+                    if g_correct
+                    else max(0, old - 1)
+                )
+        ghr = ((ghr << 1) | int(taken)) & 0xFFFFFF
+        seen.add(address)
+    return tuple(hits)
+
+
+class HypothesisBank:
+    """All K hypotheses simulated in lockstep, struct-of-arrays.
+
+    Two facts make the vectorization cheap: the GHR trajectory depends
+    only on the program's *architectural* outcomes (known up front), so
+    every gshare index is precomputable; and a program touches a
+    handful of distinct (hypothesis, table) entries, so per-hypothesis
+    PHT state compresses to dense slot arrays via ``np.unique``.
+    """
+
+    def __init__(self, hypotheses: Sequence[Hypothesis]) -> None:
+        self.hypotheses: Tuple[Hypothesis, ...] = tuple(hypotheses)
+        if not self.hypotheses:
+            raise ValueError("need at least one hypothesis")
+        k = len(self.hypotheses)
+        self._masks = np.array(
+            [(1 << h.ghr_bits) - 1 for h in self.hypotheses], dtype=np.int64
+        )
+        # FSM variant tables, padded to the deepest variant.
+        names = sorted({h.fsm_name for h in self.hypotheses})
+        specs = [FSM_VARIANTS[name]() for name in names]
+        depth = max(spec.n_levels for spec in specs)
+        self._predict_pad = np.zeros((len(specs), depth), dtype=bool)
+        self._step_pad = np.zeros((len(specs), 2, depth), dtype=np.int8)
+        init_by_variant = np.zeros(len(specs), dtype=np.int8)
+        for v, spec in enumerate(specs):
+            for level in range(spec.n_levels):
+                self._predict_pad[v, level] = spec.predicts(level)
+                self._step_pad[v, 0, level] = spec.step(level, False)
+                self._step_pad[v, 1, level] = spec.step(level, True)
+            init_by_variant[v] = spec.level_for(State.WN)
+        vid = np.array(
+            [names.index(h.fsm_name) for h in self.hypotheses], dtype=np.int64
+        )
+        self._vid = vid
+        self._init_levels = init_by_variant[vid]
+        self._krange = np.arange(k)
+
+    def __len__(self) -> int:
+        return len(self.hypotheses)
+
+    def _indices(self, program: BranchProgram) -> Tuple[np.ndarray, np.ndarray]:
+        """Precompute bimodal and gshare PHT indices, shape (T, K) each."""
+        t = len(program)
+        k = len(self.hypotheses)
+        addresses = np.array(program.addresses, dtype=np.int64)
+        # Outcome-determined history trajectory, truncated at the widest
+        # candidate mask (24 bits) — per-hypothesis masking narrows it.
+        history = np.zeros(t, dtype=np.int64)
+        value = 0
+        for step, taken in enumerate(program.outcomes):
+            history[step] = value
+            value = ((value << 1) | int(taken)) & 0xFFFFFF
+        bidx = np.empty((t, k), dtype=np.int64)
+        gidx = np.empty((t, k), dtype=np.int64)
+        for j, hyp in enumerate(self.hypotheses):
+            bidx[:, j] = apply_hash(
+                hyp.index_hash, addresses, hyp.table_entries
+            )
+            folded = fold_history(
+                history & self._masks[j], hyp.ghr_bits, hyp.table_entries
+            )
+            gidx[:, j] = apply_hash(
+                hyp.index_hash, addresses ^ folded, hyp.table_entries
+            )
+        return bidx, gidx
+
+    @staticmethod
+    def _slots(indices: np.ndarray) -> np.ndarray:
+        """Compress raw per-column PHT indices to dense slot ids."""
+        t, k = indices.shape
+        slots = np.empty((t, k), dtype=np.int64)
+        for j in range(k):
+            _, slots[:, j] = np.unique(indices[:, j], return_inverse=True)
+        return slots
+
+    def signatures(
+        self, program: BranchProgram, selector_initial: int
+    ) -> np.ndarray:
+        """Predicted hit bits for every hypothesis, shape (K, observed)."""
+        k = len(self.hypotheses)
+        bslot, gslot = map(self._slots, self._indices(program))
+        levels_b = np.broadcast_to(
+            self._init_levels[:, None], (k, int(bslot.max()) + 1)
+        ).copy()
+        levels_g = np.broadcast_to(
+            self._init_levels[:, None], (k, int(gslot.max()) + 1)
+        ).copy()
+        # Per-address choice counters (addresses shared by hypotheses).
+        addresses = np.array(program.addresses, dtype=np.int64)
+        unique_addresses, aid = np.unique(addresses, return_inverse=True)
+        counters = np.full(
+            (k, len(unique_addresses)), selector_initial, dtype=np.int8
+        )
+        seen = np.zeros(len(unique_addresses), dtype=bool)
+        observed = set(program.observed)
+        hits = np.empty((k, len(program.observed)), dtype=bool)
+        out = 0
+        krange = self._krange
+        for step, taken in enumerate(program.outcomes):
+            bs = bslot[step]
+            gs = gslot[step]
+            b_level = levels_b[krange, bs]
+            g_level = levels_g[krange, gs]
+            b_taken = self._predict_pad[self._vid, b_level]
+            g_taken = self._predict_pad[self._vid, g_level]
+            a = aid[step]
+            cold = not seen[a]
+            use_gshare = (
+                np.zeros(k, dtype=bool)
+                if cold
+                else counters[:, a] >= _SELECTOR_MAX
+            )
+            predicted = np.where(use_gshare, g_taken, b_taken)
+            if step in observed:
+                hits[:, out] = predicted == taken
+                out += 1
+            o = int(taken)
+            levels_b[krange, bs] = self._step_pad[self._vid, o, b_level]
+            levels_g[krange, gs] = self._step_pad[self._vid, o, g_level]
+            if cold:
+                counters[:, a] = selector_initial
+            else:
+                b_correct = b_taken == taken
+                g_correct = g_taken == taken
+                move = b_correct != g_correct
+                delta = np.where(g_correct, 1, -1).astype(np.int8)
+                updated = np.clip(counters[:, a] + delta, 0, _SELECTOR_MAX)
+                counters[:, a] = np.where(move, updated, counters[:, a])
+            seen[a] = True
+        return hits
+
+
+class HypothesisLattice:
+    """Survivor tracking: hypotheses not yet refuted by any observation.
+
+    ``observe`` applies one program's oracle hits with the dual-
+    simulation nuisance masking described in the module docstring;
+    ``partition_score`` ranks a *candidate* program by how finely its
+    agreed bits split the current survivors (the fuzzer's generation
+    planner maximises it).
+    """
+
+    def __init__(
+        self, hypotheses: Optional[Sequence[Hypothesis]] = None
+    ) -> None:
+        self.bank = HypothesisBank(
+            default_lattice() if hypotheses is None else hypotheses
+        )
+        self.alive = np.ones(len(self.bank), dtype=bool)
+
+    def _masked(
+        self, program: BranchProgram
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Signatures under the low nuisance bias, plus the agreed mask."""
+        first = self.bank.signatures(program, SELECTOR_INITIALS[0])
+        mask = np.ones_like(first)
+        for bias in SELECTOR_INITIALS[1:]:
+            mask &= first == self.bank.signatures(program, bias)
+        return first, mask
+
+    def observe(
+        self, program: BranchProgram, hits: Iterable[object]
+    ) -> int:
+        """Eliminate hypotheses refuted by ``hits``; returns survivors."""
+        observed = np.array([bool(int(h)) for h in hits], dtype=bool)
+        signatures, mask = self._masked(program)
+        if observed.shape[0] != signatures.shape[1]:
+            raise ValueError(
+                f"got {observed.shape[0]} hit bits for a program with "
+                f"{signatures.shape[1]} observed steps"
+            )
+        refuted = np.any(mask & (signatures != observed[None, :]), axis=1)
+        self.alive &= ~refuted
+        return int(self.alive.sum())
+
+    def partition_score(self, program: BranchProgram) -> int:
+        """Distinct agreed-bit signatures among survivors (higher = more
+        discriminating; 1 means the program cannot eliminate anything)."""
+        if not self.alive.any():
+            return 0
+        signatures, mask = self._masked(program)
+        keys = np.where(mask, signatures.astype(np.int8), np.int8(2))
+        rows = keys[self.alive]
+        return len({row.tobytes() for row in rows})
+
+    def survivors(self) -> Tuple[Hypothesis, ...]:
+        return tuple(
+            h for h, alive in zip(self.bank.hypotheses, self.alive) if alive
+        )
+
+    @property
+    def converged(self) -> bool:
+        return int(self.alive.sum()) == 1

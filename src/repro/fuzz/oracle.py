@@ -1,0 +1,52 @@
+"""The opaque preset oracle: probe outcomes in, hit bits out.
+
+The fuzzer's entire measurement channel.  A :class:`PresetOracle` wraps
+one :data:`repro.bpu.presets.PRESETS` entry and answers exactly one
+question per program: *at each observed step, did the predictor's
+direction prediction match the architectural outcome?*  Nothing else —
+no table contents, no component attribution, no geometry — crosses the
+boundary, mirroring what a real attacker measures through the §6.1
+prime+probe channel (a hit/miss bit per probe branch).
+
+Each program runs on a **fresh** predictor (power-up state), matching
+the paper's per-experiment PHT randomisation discipline: programs are
+independent trials, so the service may shard and reorder them freely.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.bpu.presets import PRESETS
+from repro.fuzz.generate import BranchProgram
+
+__all__ = ["PresetOracle"]
+
+
+class PresetOracle:
+    """Opaque wrapper around one preset's hybrid predictor."""
+
+    def __init__(self, preset: str, scale: int = 1) -> None:
+        config = PRESETS[preset]()
+        if scale != 1:
+            config = config.scaled(scale)
+        self._config = config
+        self.preset = preset
+        self.scale = scale
+
+    def run(self, program: BranchProgram) -> Tuple[bool, ...]:
+        """Execute ``program`` on a fresh predictor; return the hit bits.
+
+        ``hits[j]`` is True iff the prediction at step
+        ``program.observed[j]`` matched the architectural outcome.
+        """
+        predictor = self._config.build()
+        observed = set(program.observed)
+        hits = []
+        for step, (address, taken) in enumerate(
+            zip(program.addresses, program.outcomes)
+        ):
+            prediction = predictor.execute(address, taken)
+            if step in observed:
+                hits.append(prediction.taken == taken)
+        return tuple(hits)

@@ -99,6 +99,20 @@ static inline int64_t repro_mod(int64_t a, int64_t n)
     return a % n;
 }
 
+/* Circular-XOR fold of a (pre-masked) history value down to the
+ * table's index width w = floor(log2(n_g)) — identity whenever the
+ * history already fits in w bits (the loop then runs once). */
+static inline int64_t repro_fold_hist(int64_t h, int64_t w,
+                                      int64_t wmask)
+{
+    int64_t f = 0;
+    while (h != 0) {
+        f ^= h & wmask;
+        h >>= w;
+    }
+    return f;
+}
+
 void repro_summarize_block(const int64_t *addresses,
                            const uint8_t *outcomes, int64_t n,
                            const int64_t *oid, const int64_t *ct,
@@ -110,12 +124,18 @@ void repro_summarize_block(const int64_t *addresses,
                            int64_t *g_acc, int64_t *scalars)
 {
     int64_t bim = identity, ghr = 0, touched = 0, block_tag = -1;
+    int64_t fold_w = 0, ng_bits = n_g;
+    while (ng_bits > 1) { fold_w++; ng_bits >>= 1; }
+    if (fold_w < 1)
+        fold_w = 1;
+    int64_t fold_mask = ((int64_t)1 << fold_w) - 1;
     for (int64_t i = 0; i < n; i++) {
         int64_t a = addresses[i];
         int64_t o = oid[outcomes[i]];
         if (repro_mod(a, n_b) == tb)
             bim = ct[bim * size + o];
-        int64_t p = pos_table[repro_mod(a ^ ghr, n_g)];
+        int64_t folded = repro_fold_hist(ghr, fold_w, fold_mask);
+        int64_t p = pos_table[repro_mod(a ^ folded, n_g)];
         if (p >= 0)
             g_acc[p] = ct[g_acc[p] * size + o];
         ghr = ((ghr << 1) | (int64_t)outcomes[i]) & ghr_mask;

@@ -38,7 +38,8 @@ def _build():
     @njit(cache=True)
     def _summarize_block(
         addresses, outcomes, oid, ct, size, n_b, tb, n_g, pos_table,
-        ghr_mask, n_sel, tsel, n_sets, tset, tag_mask, identity, g_acc,
+        ghr_mask, fold_w, fold_mask, n_sel, tsel, n_sets, tset,
+        tag_mask, identity, g_acc,
     ):
         bim = identity
         ghr = np.int64(0)
@@ -49,7 +50,14 @@ def _build():
             o = oid[outcomes[i]]
             if a % n_b == tb:
                 bim = ct[bim * size + o]
-            p = pos_table[(a ^ ghr) % n_g]
+            # Fold the (masked) history down to index width before the
+            # XOR — identity when the history already fits.
+            h = ghr
+            folded = np.int64(0)
+            while h != 0:
+                folded ^= h & fold_mask
+                h >>= fold_w
+            p = pos_table[(a ^ folded) % n_g]
             if p >= 0:
                 g_acc[p] = ct[g_acc[p] * size + o]
             ghr = ((ghr << 1) | np.int64(outcomes[i])) & ghr_mask
@@ -151,10 +159,12 @@ def summarize_block(
 ):
     ct = _i64(compose_table)
     g_acc = np.full(int(n_tracked), identity, dtype=np.int64)
+    fold_w = max(1, int(n_g).bit_length() - 1)
     bim, touched, block_tag = _compiled["summarize_block"](
         _i64(addresses), _b(outcomes), _i64(outcome_ids), ct.ravel(),
         ct.shape[1], np.int64(n_b), np.int64(tb), np.int64(n_g),
         _i64(pos_table), np.int64((1 << int(ghr_len)) - 1),
+        np.int64(fold_w), np.int64((1 << fold_w) - 1),
         np.int64(n_sel), np.int64(tsel), np.int64(n_sets),
         np.int64(tset), np.int64(tag_mask), np.int64(identity), g_acc,
     )

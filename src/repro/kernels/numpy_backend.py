@@ -21,6 +21,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.bpu.hashes import fold_history
+
 NAME = "numpy"
 
 
@@ -152,7 +154,7 @@ def summarize_block(
     on_target = _fast_mod(addresses, n_b) == tb
     bim_id = reduce_ids(step_ids[on_target], compose_table, identity)
 
-    trajectory = _ghr_trajectory(outcomes, ghr_len)
+    trajectory = fold_history(_ghr_trajectory(outcomes, ghr_len), ghr_len, n_g)
     g_indices = _fast_mod(addresses ^ trajectory, n_g).astype(np.int64)
     pos = pos_table[g_indices]
     g_ids = fold_ids(pos, step_ids, compose_table, n_tracked, identity)

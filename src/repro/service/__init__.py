@@ -6,14 +6,20 @@ the layer above it, turning a campaign *spec* into a long-running
 service workload:
 
 * :mod:`repro.service.campaign` — :class:`CampaignSpec` (a plain-data,
-  content-addressable description of a stability campaign), the shard
-  planner, and the per-trial / per-shard executors whose results are
+  content-addressable description of a campaign), the shard planner,
+  and the per-trial / per-shard executors whose results are
   bit-identical at any shard count;
+* :mod:`repro.service.workload` — the workload registry: a spec names
+  its trial family (``"stability"``, ``"fuzz"``, …) and the registry
+  maps the name to its trial function and aggregate class, so new
+  tenant families plug in without touching the scheduler;
 * :mod:`repro.service.aggregate` — exact mergeable streaming
   accumulators (:class:`CampaignAggregate`): count/sum/M2 moments over
   rationals, integer histogram sketches, and an XOR-combined multiset
   digest, so merged shard results are byte-identical to the unsharded
-  run however the campaign was split;
+  run however the campaign was split; plus the record-preserving
+  :class:`RecordListAggregate` for workloads whose consumers need raw
+  per-trial records back (the fuzzer's inference step);
 * :mod:`repro.service.scheduler` — :class:`CampaignService`: N
   concurrent campaigns with per-tenant fair-share scheduling over one
   shared :class:`~repro.parallel.TrialPool` and one shared
@@ -23,13 +29,14 @@ service workload:
   ``repro serve`` / ``repro submit``.
 
 See MODELING.md §13 for the architecture and the sharding determinism
-contract.
+contract, and §14 for the fuzz workload riding on it.
 """
 
 from repro.service.aggregate import (
     CampaignAggregate,
     HistogramSketch,
     MomentAccumulator,
+    RecordListAggregate,
 )
 from repro.service.campaign import (
     CampaignSpec,
@@ -41,6 +48,12 @@ from repro.service.campaign import (
 )
 from repro.service.scheduler import CampaignService
 from repro.service.server import load_jobs, serve, submit_job
+from repro.service.workload import (
+    Workload,
+    get_workload,
+    register_workload,
+    workload_names,
+)
 
 __all__ = [
     "CampaignAggregate",
@@ -48,12 +61,17 @@ __all__ = [
     "CampaignSpec",
     "HistogramSketch",
     "MomentAccumulator",
+    "RecordListAggregate",
+    "Workload",
+    "get_workload",
     "load_jobs",
     "plan_shards",
+    "register_workload",
     "run_campaign",
     "run_shard",
     "run_trial",
     "serve",
     "shard_store_key",
     "submit_job",
+    "workload_names",
 ]

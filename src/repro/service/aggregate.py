@@ -40,6 +40,7 @@ __all__ = [
     "CampaignAggregate",
     "HistogramSketch",
     "MomentAccumulator",
+    "RecordListAggregate",
     "trial_digest",
 ]
 
@@ -318,4 +319,104 @@ class CampaignAggregate:
         return (
             f"CampaignAggregate(n={self.n_trials}, "
             f"stable={self.stable_trials}, digest={self.digest()[:12]})"
+        )
+
+
+class RecordListAggregate:
+    """Record-preserving aggregate for workloads that need raw trials back.
+
+    The stability workload only ever reads moment summaries, but the
+    fuzzer's consumer is an *inference* step: it must replay every
+    per-trial record (program descriptor + observed probe hits) against
+    its hypothesis lattice.  This aggregate therefore keeps the records
+    themselves, keyed by trial index so that merging shards is a plain
+    disjoint dict union — associative, commutative, and loudly rejecting
+    a duplicated index (which would mean the scheduler dispatched the
+    same trial twice).  Records must be plain JSON (the same contract
+    the stability trial obeys), which makes the checkpoint round-trip a
+    literal copy and keeps the XOR multiset digest well-defined.
+    """
+
+    __slots__ = ("_records", "xor")
+
+    def __init__(self) -> None:
+        self._records: Dict[int, Dict[str, Any]] = {}
+        self.xor = bytes(32)
+
+    @property
+    def n_trials(self) -> int:
+        return len(self._records)
+
+    # -- accumulation -------------------------------------------------------
+
+    def add_trial(self, record: Dict[str, Any]) -> None:
+        index = int(record["index"])
+        if index in self._records:
+            raise ValueError(f"duplicate trial index {index}")
+        self._records[index] = record
+        self.xor = bytes(
+            a ^ b for a, b in zip(self.xor, trial_digest(record))
+        )
+
+    def merge(self, other: "RecordListAggregate") -> None:
+        overlap = self._records.keys() & other._records.keys()
+        if overlap:
+            raise ValueError(
+                f"duplicate trial indices in merge: {sorted(overlap)[:8]}"
+            )
+        self._records.update(other._records)
+        self.xor = bytes(a ^ b for a, b in zip(self.xor, other.xor))
+
+    # -- finalisation -------------------------------------------------------
+
+    def records(self) -> List[Dict[str, Any]]:
+        """All trial records, sorted by index (shard-layout invariant)."""
+        return [self._records[i] for i in sorted(self._records)]
+
+    def digest(self) -> str:
+        """Canonical SHA-256 over the index-sorted records."""
+        payload = json.dumps(
+            {"records": self.records(), "xor": self.xor.hex()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "n_trials": self.n_trials,
+            "indices": sorted(self._records),
+            "digest": self.digest(),
+        }
+
+    # -- checkpoint round-trip ----------------------------------------------
+
+    def to_state(self) -> Dict[str, Any]:
+        return {
+            "records": {str(i): r for i, r in self._records.items()},
+            "xor": self.xor.hex(),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "RecordListAggregate":
+        agg = cls()
+        agg._records = {
+            int(i): record for i, record in state["records"].items()
+        }
+        agg.xor = bytes.fromhex(state["xor"])
+        return agg
+
+    @classmethod
+    def merged(
+        cls, parts: Sequence["RecordListAggregate"]
+    ) -> "RecordListAggregate":
+        out = cls()
+        for part in parts:
+            out.merge(part)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RecordListAggregate(n={self.n_trials}, "
+            f"digest={self.digest()[:12]})"
         )

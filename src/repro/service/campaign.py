@@ -40,6 +40,7 @@ from repro.cpu.core import PhysicalCore
 from repro.cpu.process import Process
 from repro.resilience.checkpoint import rng_state_digest
 from repro.service.aggregate import CampaignAggregate
+from repro.service.workload import Workload, get_workload, register_workload
 from repro.store import ContentStore, store_key
 from repro.system.noise import NoiseModel
 
@@ -96,6 +97,14 @@ class CampaignSpec:
     seed_start: int = 0
     #: Requested shard count (scheduling hint; results are invariant).
     shards: int = 4
+    #: Workload family (:mod:`repro.service.workload` registry key):
+    #: what one trial *is* and what aggregate shards fold into.
+    workload: str = "stability"
+    #: Workload-specific parameters as a canonical JSON object string
+    #: (a string keeps the spec frozen/hashable; result-shaping, so it
+    #: joins :meth:`key_parts`).  The fuzzer puts its generation's
+    #: program descriptors here.
+    params: str = "{}"
 
     def __post_init__(self) -> None:
         if self.preset not in PRESETS:
@@ -106,6 +115,16 @@ class CampaignSpec:
             raise ValueError("n_blocks must be >= 1")
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
+        try:
+            get_workload(self.workload)
+        except KeyError as exc:
+            raise ValueError(str(exc)) from exc
+        try:
+            decoded = json.loads(self.params)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"params is not valid JSON: {exc}") from exc
+        if not isinstance(decoded, dict):
+            raise ValueError("params must encode a JSON object")
 
     # -- identity -----------------------------------------------------------
 
@@ -121,6 +140,8 @@ class CampaignSpec:
             "repetitions": self.repetitions,
             "noise": self.noise,
             "seed_start": self.seed_start,
+            "workload": self.workload,
+            "params": self.params,
         }
 
     def content_key(self) -> str:
@@ -163,6 +184,14 @@ class CampaignSpec:
     def noise_model(self) -> NoiseModel:
         return NOISE_PRESETS[self.noise]()
 
+    def params_dict(self) -> Dict[str, Any]:
+        """The decoded workload parameters (validated at construction)."""
+        return json.loads(self.params)
+
+    def workload_impl(self) -> Workload:
+        """The resolved :class:`~repro.service.workload.Workload`."""
+        return get_workload(self.workload)
+
     def build_core(self) -> PhysicalCore:
         config = PRESETS[self.preset]()
         if self.scale != 1:
@@ -204,13 +233,26 @@ def run_trial(
     *,
     pre_trial: Optional[Callable[[int], None]] = None,
 ) -> Dict[str, Any]:
-    """Trial ``index`` of a campaign: one block assessed on a fresh core.
+    """Trial ``index`` of a campaign, dispatched by the spec's workload.
 
-    Pure function of ``(spec, index)`` — the scramble/noise randomness
-    comes from the index-keyed spawned stream, the core is rebuilt from
-    the spec, and the compiled block is content-cached.  The returned
-    record is plain JSON data; ``rng_digest`` pins the core generator's
-    exact post-trial stream position into the campaign digest.
+    Pure function of ``(spec, index)`` whatever the workload; the
+    returned record is plain JSON data.
+    """
+    return spec.workload_impl().run_trial(spec, index, pre_trial=pre_trial)
+
+
+def _stability_trial(
+    spec: CampaignSpec,
+    index: int,
+    *,
+    pre_trial: Optional[Callable[[int], None]] = None,
+) -> Dict[str, Any]:
+    """The Figure-4 stability trial: one block assessed on a fresh core.
+
+    The scramble/noise randomness comes from the index-keyed spawned
+    stream, the core is rebuilt from the spec, and the compiled block is
+    content-cached; ``rng_digest`` pins the core generator's exact
+    post-trial stream position into the campaign digest.
     """
     if pre_trial is not None:
         pre_trial(index)
@@ -251,16 +293,17 @@ def run_shard(
     *,
     pool=None,
     pre_trial: Optional[Callable[[int], None]] = None,
-) -> CampaignAggregate:
-    """Fold trials ``[lo, hi)`` into one :class:`CampaignAggregate`.
+):
+    """Fold trials ``[lo, hi)`` into the workload's aggregate.
 
     Streams through ``pool.map_reduce`` when a pool is given (memory
     O(1) in the trial count); runs the plain serial fold otherwise —
     which is also how a shard executes *inside* a forked service worker,
     where the pool reentrancy latch forces the serial path anyway.
     """
+    aggregate_cls = spec.workload_impl().aggregate
 
-    def fold(acc: CampaignAggregate, record: Dict[str, Any]):
+    def fold(acc, record: Dict[str, Any]):
         acc.add_trial(record)
         return acc
 
@@ -270,9 +313,9 @@ def run_shard(
             lambda i: run_trial(spec, i, pre_trial=pre_trial),
             indices,
             merge=fold,
-            zero=CampaignAggregate(),
+            zero=aggregate_cls(),
         )
-    acc = CampaignAggregate()
+    acc = aggregate_cls()
     for index in indices:
         acc.add_trial(run_trial(spec, index, pre_trial=pre_trial))
     return acc
@@ -285,7 +328,7 @@ def run_campaign(
     pool=None,
     store: Optional[ContentStore] = None,
     pre_trial: Optional[Callable[[int], None]] = None,
-) -> CampaignAggregate:
+):
     """Run a whole campaign shard by shard and merge the aggregates.
 
     The simple single-campaign entry point (the CLI bench and the
@@ -294,16 +337,26 @@ def run_campaign(
     pieces.  With a ``store``, shard aggregates hit the persistent
     cache: a warm re-run merges stored shards without running a trial.
     """
-    parts: List[CampaignAggregate] = []
+    aggregate_cls = spec.workload_impl().aggregate
+    parts: List[Any] = []
     for lo, hi in plan_shards(spec, n_shards):
         key = shard_store_key(spec, lo, hi)
         if store is not None:
             found, value = store.get(key)
-            if found and isinstance(value, CampaignAggregate):
+            if found and isinstance(value, aggregate_cls):
                 parts.append(value)
                 continue
         part = run_shard(spec, lo, hi, pool=pool, pre_trial=pre_trial)
         if store is not None:
             store.put(key, part)
         parts.append(part)
-    return CampaignAggregate.merged(parts)
+    return aggregate_cls.merged(parts)
+
+
+register_workload(
+    Workload(
+        name="stability",
+        run_trial=_stability_trial,
+        aggregate=CampaignAggregate,
+    )
+)

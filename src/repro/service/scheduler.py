@@ -36,7 +36,6 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.obs import trace as obs
 from repro.parallel import TrialPool
 from repro.resilience.checkpoint import CheckpointStore, verify_fingerprint
-from repro.service.aggregate import CampaignAggregate
 from repro.service.campaign import (
     CampaignSpec,
     plan_shards,
@@ -55,7 +54,10 @@ class CampaignState:
         self.spec = spec
         self.campaign_id = spec.campaign_id()
         self.shards: List[Tuple[int, int]] = plan_shards(spec)
-        self.done: Dict[int, CampaignAggregate] = {}
+        #: Aggregate class from the spec's workload — every checkpoint
+        #: restore, store probe and merge dispatches through it.
+        self.aggregate_cls: type = spec.workload_impl().aggregate
+        self.done: Dict[int, Any] = {}
         self.dispatched = 0
         self.resumed_shards = 0
         self.cached_shards = 0
@@ -69,10 +71,10 @@ class CampaignState:
             i for i in range(len(self.shards)) if i not in self.done
         ]
 
-    def aggregate(self) -> CampaignAggregate:
+    def aggregate(self) -> Any:
         """Exact merge of every shard, in shard order (order is moot —
         the merge is commutative — but fixed for readability)."""
-        return CampaignAggregate.merged(
+        return self.aggregate_cls.merged(
             [self.done[i] for i in range(len(self.shards))]
         )
 
@@ -175,7 +177,7 @@ class CampaignService:
         if saved is None:
             return
         for i, agg_state in saved.get("done", {}).items():
-            state.done[int(i)] = CampaignAggregate.from_state(agg_state)
+            state.done[int(i)] = state.aggregate_cls.from_state(agg_state)
         state.resumed_shards = len(state.done)
         if state.resumed_shards:
             obs.record_resilience_event(
@@ -190,7 +192,7 @@ class CampaignService:
         for i in state.pending():
             lo, hi = state.shards[i]
             found, value = self.store.get(shard_store_key(state.spec, lo, hi))
-            if found and isinstance(value, CampaignAggregate):
+            if found and isinstance(value, state.aggregate_cls):
                 state.done[i] = value
                 state.cached_shards += 1
 
@@ -272,7 +274,7 @@ class CampaignService:
         }
         pre_trial = self.pre_trial
 
-        def shard_fn(payload: Tuple[str, int]) -> CampaignAggregate:
+        def shard_fn(payload: Tuple[str, int]) -> Any:
             cid, shard_index = payload
             lo, hi = shards[cid][shard_index]
             return run_shard(specs[cid], lo, hi, pre_trial=pre_trial)

@@ -1,0 +1,81 @@
+"""Workload registry: what kind of science a campaign spec runs.
+
+PR 8's service hard-wired one workload — the Figure-4 stability trial
+folded into a :class:`~repro.service.aggregate.CampaignAggregate`.  The
+fuzzer (ROADMAP item 2) is the second tenant family: its trials evaluate
+generated branch programs against an opaque preset, and its consumer
+needs the raw per-trial records back, not moment summaries.  Rather than
+fork the scheduler, a campaign spec now names its **workload**, and this
+registry maps the name to the two things the service machinery needs:
+
+* ``run_trial(spec, index, *, pre_trial=None) -> dict`` — the pure
+  per-index trial function (same determinism contract as the stability
+  trial: a plain-JSON record fully determined by ``(spec, index)``);
+* ``aggregate`` — the aggregate class shard results fold into.  Any
+  class with the :class:`~repro.service.aggregate.CampaignAggregate`
+  interface (``add_trial`` / ``merge`` / ``digest`` / ``summary`` /
+  ``to_state`` / ``from_state`` / ``merged``) works; the scheduler's
+  checkpoints, store serving and result files all dispatch through it.
+
+Workloads register at import time (``"stability"`` in
+:mod:`repro.service.campaign`); :data:`LAZY_WORKLOADS` lets heavyweight
+families load on first use so the service core never imports them
+eagerly (``"fuzz"`` lives in :mod:`repro.fuzz.workload`).
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict
+
+__all__ = [
+    "Workload",
+    "register_workload",
+    "get_workload",
+    "workload_names",
+    "LAZY_WORKLOADS",
+]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One registered campaign workload family."""
+
+    #: Registry key; ``CampaignSpec.workload`` names it.
+    name: str
+    #: Pure per-trial function ``(spec, index, *, pre_trial) -> record``.
+    run_trial: Callable[..., Dict[str, Any]]
+    #: Aggregate class shard results fold into (CampaignAggregate-shaped).
+    aggregate: type
+
+
+_REGISTRY: Dict[str, Workload] = {}
+
+#: Workload name -> module that registers it on import.
+LAZY_WORKLOADS: Dict[str, str] = {
+    "fuzz": "repro.fuzz.workload",
+}
+
+
+def register_workload(workload: Workload) -> Workload:
+    """Add (or replace) a workload in the registry."""
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    """Resolve a workload name, importing lazy providers on first use."""
+    if name not in _REGISTRY and name in LAZY_WORKLOADS:
+        importlib.import_module(LAZY_WORKLOADS[name])
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown workload {name!r}; valid workloads: "
+            + ", ".join(sorted(set(_REGISTRY) | set(LAZY_WORKLOADS)))
+        )
+    return _REGISTRY[name]
+
+
+def workload_names() -> list:
+    """Every resolvable workload name (registered or lazily importable)."""
+    return sorted(set(_REGISTRY) | set(LAZY_WORKLOADS))

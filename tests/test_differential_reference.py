@@ -54,7 +54,14 @@ class ReferenceHybrid:
         """Execute one branch; returns the final predicted direction."""
         config = self.config
         bimodal_index = address % config.bimodal_entries
-        gshare_index = (address ^ self.ghr) % config.gshare_entries
+        # Fold a long history to index width, spelled out independently
+        # of repro.bpu.hashes.fold_history: XOR of index-width chunks.
+        width = max(1, config.gshare_entries.bit_length() - 1)
+        folded, remaining = 0, self.ghr
+        while remaining:
+            folded ^= remaining & ((1 << width) - 1)
+            remaining >>= width
+        gshare_index = (address ^ folded) % config.gshare_entries
         selector_index = address % config.selector_entries
         bit_set = address % config.bit_sets
         bit_tag = (address // config.bit_sets) & (

@@ -15,6 +15,7 @@ import pytest
 
 from repro.bpu import PRESETS
 from repro.bpu.fsm import skylake_fsm, textbook_2bit_fsm
+from repro.bpu.hashes import apply_hash, fold_history
 from repro.cpu import PhysicalCore, Process
 from repro.core.randomizer import (
     RandomizationBlock,
@@ -112,16 +113,26 @@ def _reference_maps(block, core, process):
     fsm = core.predictor.bimodal.pht.fsm
     n_bimodal = core.predictor.bimodal.pht.n_entries
     bimodal_ref = block.fold_map_reference(
-        block._mapped_indices(key, partition, n_bimodal),
+        block._mapped_indices(
+            key,
+            partition,
+            n_bimodal,
+            index_hash=core.predictor.bimodal.index_hash,
+        ),
         n_bimodal,
         fsm.n_levels,
         fsm.step_table,
     )
     n_gshare = core.predictor.gshare.pht.n_entries
-    trajectory = block.ghr_trajectory(core.predictor.ghr.length)
+    ghr_len = core.predictor.ghr.length
+    trajectory = fold_history(
+        block.ghr_trajectory(ghr_len), ghr_len, n_gshare
+    )
     mixed = block.addresses ^ trajectory ^ key
     if partition is None:
-        gshare_indices = (mixed % n_gshare).astype(np.int64)
+        gshare_indices = apply_hash(
+            core.predictor.gshare.index_hash, mixed, n_gshare
+        ).astype(np.int64)
     else:
         gshare_indices = (
             partition.offset + (mixed % partition.size)

@@ -1,0 +1,455 @@
+"""The reverse-engineering fuzzer (:mod:`repro.fuzz`).
+
+Coverage layers, cheapest first: generator/oracle determinism, the
+bank-vs-scalar simulator differential, the battery's dimension
+separation, the closed-loop self-rediscovery of every zoo preset, and
+the service-tenancy contracts (worker-count invariance, warm-store
+zero-dispatch reruns, partial-run resume) the acceptance criteria pin.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bpu.hashes import fold_history, history_fold_width
+from repro.bpu.presets import PRESETS
+from repro.fuzz.campaign import (
+    FuzzVerdict,
+    plan_generation,
+    run_fuzz,
+    true_hypothesis,
+)
+from repro.fuzz.generate import (
+    CANDIDATE_HISTORY_BITS,
+    CANDIDATE_TABLE_SIZES,
+    BranchProgram,
+    battery_descriptors,
+    program_from_descriptor,
+    random_descriptor,
+)
+from repro.fuzz.infer import (
+    FSM_VARIANTS,
+    SELECTOR_INITIALS,
+    Hypothesis,
+    HypothesisBank,
+    HypothesisLattice,
+    default_lattice,
+    simulate_program,
+)
+from repro.fuzz.oracle import PresetOracle
+from repro.service.aggregate import RecordListAggregate
+from repro.service.campaign import CampaignSpec
+from repro.service.scheduler import CampaignService
+
+INTEL_PRESETS = ("skylake", "haswell", "sandy_bridge")
+
+
+class TestGenerate:
+    def test_battery_is_deterministic(self):
+        assert battery_descriptors(7) == battery_descriptors(7)
+        assert battery_descriptors(7) != battery_descriptors(8)
+
+    def test_battery_descriptors_are_json_plain(self):
+        descs = battery_descriptors(0)
+        assert json.loads(json.dumps(descs)) == descs
+
+    def test_decoder_is_pure(self):
+        desc = {"family": "collision", "train": 10, "probe": 20}
+        assert program_from_descriptor(desc) == program_from_descriptor(desc)
+
+    def test_collision_family_shape(self):
+        program = program_from_descriptor(
+            {"family": "collision", "train": 0x100, "probe": 0x200}
+        )
+        assert program.addresses == (0x100, 0x100, 0x100, 0x200)
+        assert program.outcomes == (True,) * 4
+        assert program.observed == (3,)
+
+    def test_history_family_shape(self):
+        program = program_from_descriptor(
+            {"family": "history", "address": 5, "period": 4, "repeats": 2}
+        )
+        assert program.outcomes == (True, True, True, False) * 2
+        assert program.observed == tuple(range(8))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BranchProgram(addresses=(1,), outcomes=(), observed=())
+        with pytest.raises(ValueError):
+            BranchProgram(
+                addresses=(1, 2), outcomes=(True, True), observed=(1, 0)
+            )
+        with pytest.raises(ValueError):
+            program_from_descriptor({"family": "nope"})
+        with pytest.raises(ValueError):
+            program_from_descriptor(
+                {"family": "fsm", "address": 1, "taken": 0, "not_taken": 1}
+            )
+
+    def test_random_descriptor_reproducible(self):
+        a = [random_descriptor(np.random.default_rng(3)) for _ in range(5)]
+        b = [random_descriptor(np.random.default_rng(3)) for _ in range(5)]
+        assert a == b
+
+    def test_random_descriptors_decode(self):
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            program = program_from_descriptor(random_descriptor(rng))
+            assert len(program) >= 1
+
+
+class TestOracle:
+    def test_fresh_predictor_per_run(self):
+        oracle = PresetOracle("haswell")
+        program = program_from_descriptor(
+            {"family": "fsm", "address": 0x999, "taken": 3, "not_taken": 3}
+        )
+        assert oracle.run(program) == oracle.run(program)
+
+    def test_only_observed_bits_cross(self):
+        oracle = PresetOracle("sandy_bridge")
+        program = program_from_descriptor(
+            {"family": "collision", "train": 0x10, "probe": 0x20}
+        )
+        assert len(oracle.run(program)) == 1
+
+    def test_unknown_preset_fails_helpfully(self):
+        with pytest.raises(KeyError, match="valid presets"):
+            PresetOracle("sklake")
+
+
+class TestFoldHistory:
+    def test_identity_when_history_fits(self):
+        assert fold_history(0b1011, 12, 4096) == 0b1011
+        assert history_fold_width(4096) == 12
+
+    def test_chunked_xor(self):
+        # 16-bit history into a 14-bit index: top 2 bits fold onto the
+        # low end.  h = high2 || low14  ->  low14 ^ high2.
+        low, high = 0x1ABC, 0b10
+        h = (high << 14) | low
+        assert fold_history(h, 16, 16384) == low ^ high
+
+    def test_elementwise_on_arrays(self):
+        values = np.array([0, 1, (1 << 20) | 5], dtype=np.int64)
+        folded = fold_history(values, 24, 16384)
+        expected = [fold_history(int(v), 24, 16384) for v in values]
+        assert folded.tolist() == expected
+
+
+class TestSimulatorDifferential:
+    """Bank signatures == scalar reference, bit for bit."""
+
+    def test_battery_spot_check(self):
+        lattice = default_lattice()
+        bank = HypothesisBank(lattice)
+        rng = np.random.default_rng(5)
+        picks = rng.choice(len(lattice), size=4, replace=False)
+        programs = [
+            program_from_descriptor(d) for d in battery_descriptors(0)
+        ]
+        for program in programs:
+            for bias in SELECTOR_INITIALS:
+                signatures = bank.signatures(program, bias)
+                for j in picks:
+                    reference = simulate_program(program, lattice[j], bias)
+                    assert (
+                        tuple(bool(b) for b in signatures[j]) == reference
+                    ), (program, lattice[j], bias)
+
+    def test_random_program_spot_check(self):
+        lattice = default_lattice()
+        bank = HypothesisBank(lattice)
+        rng = np.random.default_rng(17)
+        for _ in range(6):
+            program = program_from_descriptor(random_descriptor(rng))
+            signatures = bank.signatures(program, 1)
+            j = int(rng.integers(0, len(lattice)))
+            assert tuple(bool(b) for b in signatures[j]) == simulate_program(
+                program, lattice[j], 1
+            )
+
+
+class TestBatterySeparation:
+    def test_collisions_separate_all_size_hash_classes(self):
+        """The 8 (size, hash) classes get pairwise-distinct agreed
+        signatures from the battery's collision programs alone."""
+        points = [
+            Hypothesis(size, index_hash, "textbook", 12)
+            for size in CANDIDATE_TABLE_SIZES
+            for index_hash in ("mod", "fold")
+        ]
+        lattice = HypothesisLattice(points)
+        keys = [[] for _ in points]
+        for desc in battery_descriptors(0):
+            if desc["family"] != "collision":
+                continue
+            program = program_from_descriptor(desc)
+            signatures, mask = lattice._masked(program)
+            for j in range(len(points)):
+                keys[j].append(
+                    tuple(
+                        int(s) if m else 2
+                        for s, m in zip(signatures[j], mask[j])
+                    )
+                )
+        assert len({tuple(k) for k in keys}) == len(points)
+
+    def test_history_periods_separate_ghr_classes(self):
+        """With folded history, the period sweep splits every candidate
+        GHR length (this was architecturally impossible pre-fold)."""
+        points = [
+            Hypothesis(16384, "mod", "textbook", bits)
+            for bits in CANDIDATE_HISTORY_BITS
+        ]
+        lattice = HypothesisLattice(points)
+        keys = [[] for _ in points]
+        for desc in battery_descriptors(0):
+            if desc["family"] != "history":
+                continue
+            program = program_from_descriptor(desc)
+            signatures, mask = lattice._masked(program)
+            for j in range(len(points)):
+                keys[j].append(
+                    tuple(
+                        int(s) if m else 2
+                        for s, m in zip(signatures[j], mask[j])
+                    )
+                )
+        assert len({tuple(k) for k in keys}) == len(points)
+
+
+class TestSelfRediscovery:
+    """The acceptance criterion: geometry recovered from probes alone."""
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_full_zoo_converges_to_truth(self, preset):
+        verdict = run_fuzz(preset, seed=0, generations=6)
+        assert verdict.matches_truth(), verdict.survivors
+        assert verdict.survivors[0] == true_hypothesis(preset)
+
+    def test_truth_never_eliminated_midway(self):
+        lattice = HypothesisLattice()
+        oracle = PresetOracle("skylake")
+        truth = true_hypothesis("skylake")
+        truth_index = lattice.bank.hypotheses.index(truth)
+        for desc in battery_descriptors(0):
+            program = program_from_descriptor(desc)
+            lattice.observe(program, oracle.run(program))
+            assert lattice.alive[truth_index]
+
+    def test_verdict_digest_excludes_scheduling(self):
+        a = run_fuzz("sandy_bridge", seed=0)
+        forged = FuzzVerdict(
+            preset=a.preset,
+            seed=a.seed,
+            scale=a.scale,
+            generations_run=a.generations_run,
+            n_trials=a.n_trials,
+            survivors=a.survivors,
+            resumed_shards=a.resumed_shards + 3,
+            cached_shards=a.cached_shards + 1,
+        )
+        assert forged.digest() == a.digest()
+
+    def test_true_hypothesis_rejects_foreign_fsm(self):
+        import dataclasses
+
+        from repro.bpu import presets as presets_mod
+        from repro.bpu.fsm import FSMSpec, textbook_2bit_fsm
+
+        def weird_fsm():
+            spec = textbook_2bit_fsm()
+            return FSMSpec(
+                name="weird",
+                n_levels=spec.n_levels,
+                taken_threshold=spec.taken_threshold,
+            )
+
+        config = dataclasses.replace(
+            presets_mod.haswell(), fsm_factory=weird_fsm
+        )
+        presets_mod.PRESETS["_weird"] = lambda: config
+        try:
+            with pytest.raises(ValueError, match="outside the fuzz lattice"):
+                true_hypothesis("_weird")
+        finally:
+            del presets_mod.PRESETS["_weird"]
+
+
+class TestPlanGeneration:
+    def test_generation_zero_is_the_battery(self):
+        lattice = HypothesisLattice()
+        assert plan_generation(lattice, 0, 4) == battery_descriptors(4)
+
+    def test_refinement_is_deterministic_and_ranked(self):
+        lattice = HypothesisLattice()
+        a = plan_generation(lattice, 1, 4)
+        b = plan_generation(lattice, 1, 4)
+        assert a == b
+        assert len(a) == 8
+        assert a != plan_generation(lattice, 2, 4)
+        scores = [
+            lattice.partition_score(program_from_descriptor(d)) for d in a
+        ]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestServiceTenancy:
+    """Fuzz generations are campaign-service tenants, with the full
+    determinism contract: worker invariance, store serving, resume."""
+
+    def test_worker_count_invariance(self):
+        serial = run_fuzz("sandy_bridge", seed=0, workers=1)
+        forked = run_fuzz("sandy_bridge", seed=0, workers=2)
+        assert serial.digest() == forked.digest()
+        assert serial.survivors == forked.survivors
+
+    def test_warm_store_rerun_dispatches_zero_trials(self, tmp_path):
+        from repro.store import ContentStore
+
+        store = ContentStore(tmp_path / "store")
+        cold = run_fuzz(
+            "sandy_bridge",
+            seed=0,
+            store=store,
+            checkpoint_dir=tmp_path / "ck1",
+        )
+        dispatched = []
+        warm = run_fuzz(
+            "sandy_bridge",
+            seed=0,
+            store=store,
+            checkpoint_dir=tmp_path / "ck2",
+            pre_trial=dispatched.append,
+        )
+        assert dispatched == []
+        assert warm.cached_shards > 0
+        assert warm.digest() == cold.digest()
+
+    def test_killed_generation_resumes_to_same_digest(self, tmp_path):
+        class Killed(RuntimeError):
+            pass
+
+        calls = []
+
+        def die_midway(index):
+            calls.append(index)
+            if len(calls) == 9:
+                raise Killed()
+
+        with pytest.raises(Killed):
+            run_fuzz(
+                "sandy_bridge",
+                seed=0,
+                checkpoint_dir=tmp_path / "ck",
+                workers=1,
+                pre_trial=die_midway,
+            )
+        resumed = run_fuzz(
+            "sandy_bridge",
+            seed=0,
+            checkpoint_dir=tmp_path / "ck",
+            workers=1,
+        )
+        assert resumed.resumed_shards > 0
+        reference = run_fuzz("sandy_bridge", seed=0)
+        assert resumed.digest() == reference.digest()
+
+    def test_fuzz_spec_round_trips_params(self):
+        descriptors = battery_descriptors(0)[:4]
+        spec = CampaignSpec(
+            name="fuzz-rt",
+            tenant="fuzz",
+            preset="sandy_bridge",
+            n_blocks=len(descriptors),
+            shards=2,
+            workload="fuzz",
+            params=json.dumps({"descriptors": descriptors}, sort_keys=True),
+        )
+        again = CampaignSpec.from_json(spec.to_json())
+        assert again.params_dict()["descriptors"] == descriptors
+
+    def test_shard_layout_does_not_change_digest(self):
+        descriptors = battery_descriptors(0)[:6]
+
+        def digest_with(shards):
+            service = CampaignService(workers=1)
+            spec = CampaignSpec(
+                name="fuzz-shards",
+                tenant="fuzz",
+                preset="sandy_bridge",
+                n_blocks=len(descriptors),
+                shards=shards,
+                workload="fuzz",
+                params=json.dumps(
+                    {"descriptors": descriptors}, sort_keys=True
+                ),
+            )
+            cid = service.submit(spec)
+            service.run_until_complete()
+            return service.campaign(cid).aggregate().digest()
+
+        assert digest_with(1) == digest_with(3)
+
+
+class TestRecordListAggregate:
+    def _record(self, index):
+        return {"index": index, "descriptor": {"x": index}, "hits": [1]}
+
+    def test_records_sorted_by_index(self):
+        agg = RecordListAggregate()
+        for index in (2, 0, 1):
+            agg.add_trial(self._record(index))
+        assert [r["index"] for r in agg.records()] == [0, 1, 2]
+
+    def test_duplicate_index_rejected(self):
+        agg = RecordListAggregate()
+        agg.add_trial(self._record(0))
+        with pytest.raises(ValueError, match="duplicate trial index"):
+            agg.add_trial(self._record(0))
+
+    def test_merge_equals_serial_fold(self):
+        serial = RecordListAggregate()
+        left, right = RecordListAggregate(), RecordListAggregate()
+        for index in range(6):
+            serial.add_trial(self._record(index))
+            (left if index < 3 else right).add_trial(self._record(index))
+        merged = RecordListAggregate.merged([left, right])
+        assert merged.digest() == serial.digest()
+
+    def test_merge_rejects_overlap(self):
+        left, right = RecordListAggregate(), RecordListAggregate()
+        left.add_trial(self._record(0))
+        right.add_trial(self._record(0))
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+    def test_state_round_trip_preserves_digest(self):
+        agg = RecordListAggregate()
+        for index in range(4):
+            agg.add_trial(self._record(index))
+        clone = RecordListAggregate.from_state(agg.to_state())
+        assert clone.digest() == agg.digest()
+        assert clone.records() == agg.records()
+
+
+class TestCli:
+    def test_fuzz_verb_expect_truth(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "fuzz",
+                    "--preset",
+                    "sandy_bridge",
+                    "--expect-truth",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "verdict digest:" in out
+        assert "table=4096" in out

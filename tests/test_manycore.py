@@ -9,7 +9,14 @@ models, checkpoint interruptions, and every fallback branch.
 import numpy as np
 import pytest
 
-from repro.bpu.presets import haswell, sandy_bridge, skylake
+from repro.bpu.presets import (
+    firestorm_like,
+    haswell,
+    oryon_like,
+    sandy_bridge,
+    skylake,
+    tage_like,
+)
 from repro.core.calibration import (
     DecodedState,
     draw_trial_plan,
@@ -34,7 +41,14 @@ from repro.system.noise import NoiseModel
 
 TARGET = 0x30_0006D
 
-ALL_PRESETS = [skylake, haswell, sandy_bridge]
+ALL_PRESETS = [
+    skylake,
+    haswell,
+    sandy_bridge,
+    tage_like,
+    firestorm_like,
+    oryon_like,
+]
 
 
 def small_factory(preset, seed=7, factor=16):

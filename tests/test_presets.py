@@ -4,12 +4,25 @@ import pytest
 
 from repro.bpu import haswell, sandy_bridge, skylake
 from repro.bpu.fsm import State
-from repro.bpu.presets import PRESETS
+from repro.bpu.presets import (
+    PRESETS,
+    firestorm_like,
+    oryon_like,
+    tage_like,
+)
 
 
 class TestPresetCatalog:
-    def test_all_three_paper_cpus_present(self):
-        assert set(PRESETS) == {"skylake", "haswell", "sandy_bridge"}
+    def test_zoo_roster(self):
+        """The three paper CPUs plus the three zoo additions."""
+        assert set(PRESETS) == {
+            "skylake",
+            "haswell",
+            "sandy_bridge",
+            "tage_like",
+            "firestorm_like",
+            "oryon_like",
+        }
 
     def test_names_identify_the_parts(self):
         assert "6200U" in skylake().name
@@ -30,6 +43,31 @@ class TestPresetCatalog:
         assert skylake().fsm.taken_states_ambiguous
         assert not haswell().fsm.taken_states_ambiguous
         assert not sandy_bridge().fsm.taken_states_ambiguous
+
+    def test_unknown_preset_names_the_options(self):
+        with pytest.raises(KeyError) as exc:
+            PRESETS["sklake"]
+        message = str(exc.value)
+        assert "sklake" in message
+        assert "sandy_bridge" in message
+        assert "oryon_like" in message
+
+    def test_zoo_geometries(self):
+        """The Arm/TAGE additions model the cited reverse engineering."""
+        assert tage_like().fsm.n_levels == 8  # 3-bit counters
+        assert tage_like().ghr_bits == 20
+        assert firestorm_like().bimodal_entries == 32768
+        assert firestorm_like().ghr_bits == 24
+        assert oryon_like().index_hash == "fold"
+        # Intel presets stay byte-granular plain-modulo indexed.
+        for name in ("skylake", "haswell", "sandy_bridge"):
+            assert PRESETS[name]().index_hash == "mod"
+
+    def test_zoo_histories_exceed_index_width(self):
+        """The zoo additions all need folded history (the point of them)."""
+        for factory in (tage_like, firestorm_like, oryon_like):
+            config = factory()
+            assert config.ghr_bits > config.gshare_entries.bit_length() - 1
 
 
 class TestBuild:

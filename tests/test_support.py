@@ -1,0 +1,130 @@
+"""Shared engine-support predicates (:mod:`repro.core.support`).
+
+Each vectorised engine gates itself on the same three condition
+families — observation hooks, index hash, timing/plan — through this
+one module, so the unit tests pin the predicates directly and then
+cross-check that the engines' historical entry points still re-export
+them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bpu.presets import PRESETS, haswell, oryon_like
+from repro.core.support import (
+    batch_assess_fallback_reason,
+    batch_assess_supported,
+    batch_scan_fallback_reason,
+    batch_scan_supported,
+    index_hash_batchable,
+    manycore_fallback_reason,
+    observation_hooks_clean,
+    scalar_engine_forced,
+)
+from repro.cpu.core import PhysicalCore
+from repro.cpu.timing import TimingModel
+from repro.mitigations.noisy_counters import NoisyPerformanceCounters
+from repro.mitigations.pht_randomization import PhtIndexRandomization
+from repro.mitigations.static_prediction import (
+    StaticPredictionForSensitiveBranches,
+)
+from repro.mitigations.stochastic_fsm import StochasticFSM
+
+
+def _core(factory=haswell, **kwargs):
+    return PhysicalCore(factory().scaled(16), seed=3, **kwargs)
+
+
+class TestObservationHooks:
+    def test_clean_core(self):
+        assert observation_hooks_clean(_core())
+
+    def test_index_hooks_do_not_disqualify(self):
+        core = _core()
+        core.install_mitigation(
+            PhtIndexRandomization(np.random.default_rng(1))
+        )
+        core.install_mitigation(StaticPredictionForSensitiveBranches())
+        assert observation_hooks_clean(core)
+
+    @pytest.mark.parametrize(
+        "mitigation",
+        [
+            lambda: NoisyPerformanceCounters(magnitude=2),
+            lambda: StochasticFSM(flip_prob=0.1),
+        ],
+        ids=["noisy_counters", "stochastic_fsm"],
+    )
+    def test_observation_hooks_disqualify(self, mitigation):
+        core = _core()
+        core.install_mitigation(mitigation())
+        assert not observation_hooks_clean(core)
+        assert not batch_scan_supported(core)
+        assert batch_scan_fallback_reason(core) == "mitigation"
+
+
+class TestIndexHash:
+    def test_mod_presets_batchable(self):
+        for name in ("skylake", "haswell", "sandy_bridge", "tage_like"):
+            assert index_hash_batchable(_core(PRESETS[name]))
+
+    def test_fold_preset_not_batchable(self):
+        core = _core(oryon_like)
+        assert not index_hash_batchable(core)
+        assert batch_scan_fallback_reason(core) == "index_hash"
+        assert batch_assess_fallback_reason(core) == "index_hash"
+        assert manycore_fallback_reason(core) == "index_hash"
+
+
+class TestTimingAndPlan:
+    def test_base_timing_supported(self):
+        core = _core()
+        assert batch_assess_supported(core)
+        assert batch_assess_fallback_reason(core) is None
+
+    def test_custom_timing_needs_a_plan(self):
+        class SlowTiming(TimingModel):
+            pass
+
+        core = _core(timing=SlowTiming())
+        assert not batch_assess_supported(core)
+        assert batch_assess_fallback_reason(core) == "custom_timing"
+        # A pre-drawn plan removes the sampling concern entirely.
+        assert batch_assess_supported(core, plan=object())
+        assert batch_assess_fallback_reason(core, plan=object()) is None
+        # find_block's gate mirrors this: pooled runs pre-draw plans.
+        assert scalar_engine_forced(core, pooled=False)
+        assert not scalar_engine_forced(core, pooled=True)
+
+
+class TestManycore:
+    def test_clean_core_supported(self):
+        assert manycore_fallback_reason(_core()) is None
+
+    def test_any_mitigation_disqualifies(self):
+        core = _core()
+        core.install_mitigation(StaticPredictionForSensitiveBranches())
+        assert manycore_fallback_reason(core) == "mitigation"
+
+    def test_empty_noise_gap_disqualifies(self):
+        core = _core()
+        assert manycore_fallback_reason(core, np.array([3, 2, 1])) is None
+        assert (
+            manycore_fallback_reason(core, np.array([3, 0, 1]))
+            == "unshared_structure"
+        )
+
+
+class TestReExports:
+    """The engines' historical entry points resolve to the shared home."""
+
+    def test_batch_probe_reexport(self):
+        from repro.core import batch_probe
+
+        assert batch_probe.batch_scan_supported is batch_scan_supported
+
+    def test_core_package_reexport(self):
+        from repro import core
+
+        assert core.batch_scan_supported is batch_scan_supported
+        assert core.manycore_fallback_reason is manycore_fallback_reason
