@@ -1,0 +1,162 @@
+"""Perf smoke check: the network transport must not tax the campaign.
+
+The multi-host layer earns its keep only if (a) running a campaign
+through claim/upload over loopback HTTP costs little beyond the trials
+themselves, and (b) the durability machinery composes: a *warm*
+re-submission to a fresh coordinator over the same root must be served
+entirely from checkpoints + content store — zero shards dispatched,
+zero trials run, the worker told ``complete`` on its first claim.
+
+This bench times the same campaign twice over one service root:
+
+* **cold** — fresh root: every shard is leased to an in-process worker
+  over the wire, computed, uploaded, merged;
+* **warm** — a *new* coordinator over the same root, same spec: every
+  shard recovers at submit time and the worker's first claim says done.
+
+The distributed digest is compared against the single-host
+``run_campaign`` reference before any timing is trusted — the
+transport must be a scheduler, never an answer-changer.  Gate: warm
+must be ``--min-speedup`` times faster than cold (CI passes a lower
+floor to absorb shared-runner noise).
+
+Run standalone (CI does, failing the job on gross regression)::
+
+    PYTHONPATH=src python benchmarks/bench_transport_perf.py
+
+or under pytest alongside the other benches::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_transport_perf.py
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service import CampaignSpec, run_campaign, run_worker  # noqa: E402
+from repro.service.coordinator import Coordinator  # noqa: E402
+from repro.service.transport import (  # noqa: E402
+    CoordinatorServer,
+    TransportClient,
+)
+
+#: Acceptance target: a warm re-submission (store-served, no trials)
+#: >= 3x faster than the cold distributed run (CI floor 2x).  The cold
+#: side includes every wire round-trip, so this also caps transport
+#: overhead implicitly.
+TARGET_SPEEDUP = 3.0
+
+SPEC = CampaignSpec(
+    name="bench-wire",
+    n_blocks=24,
+    block_branches=1_000,
+    repetitions=20,
+    shards=4,
+)
+BEST_OF = 3
+
+
+def _quiet(*args) -> None:
+    pass
+
+
+def _distributed_run(root: Path) -> float:
+    """One campaign through coordinator + worker over loopback HTTP."""
+    coordinator = Coordinator(root, log=_quiet)
+    with CoordinatorServer(coordinator) as server:
+        start = time.perf_counter()
+        TransportClient(server.url).call(
+            "submit", {"spec": SPEC.to_dict()}
+        )
+        code = run_worker(
+            server.url, once=True, poll_seconds=0.02, log=_quiet
+        )
+        elapsed = time.perf_counter() - start
+    if code != 0:
+        raise AssertionError(f"worker exited {code} — do not trust timings")
+    return elapsed
+
+
+def measure(best_of: int = BEST_OF) -> dict:
+    """Time cold vs warm distributed runs over fresh service roots.
+
+    Each round uses its own root (a cold run is only cold once),
+    immediately followed by its warm rerun against a brand-new
+    coordinator — interleaving keeps machine noise symmetric.
+    """
+    reference = run_campaign(SPEC).digest()
+    cold_times, warm_times = [], []
+    for _ in range(best_of):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp) / "svc"
+            cold_times.append(_distributed_run(root))
+            result = json.loads(
+                (root / "results" / f"{SPEC.campaign_id()}.json")
+                .read_text()
+            )
+            if result["digest"] != reference:
+                raise AssertionError(
+                    "distributed campaign disagrees with the "
+                    "single-host run — do not trust timings"
+                )
+            warm_times.append(_distributed_run(root))
+    return {
+        "n_blocks": SPEC.n_blocks,
+        "shards": SPEC.shards,
+        "cold_seconds": min(cold_times),
+        "warm_seconds": min(warm_times),
+        "speedup": min(cold_times) / min(warm_times),
+    }
+
+
+def _report(result: dict) -> str:
+    return "\n".join(
+        [
+            f"distributed campaign, {result['n_blocks']} blocks x "
+            f"{SPEC.repetitions} probes in {result['shards']} leased "
+            f"shards over loopback HTTP, best of {BEST_OF} interleaved",
+            f"  cold (leases + trials): {result['cold_seconds']:.3f}s",
+            f"  warm (recovered root):  {result['warm_seconds']:.3f}s",
+            f"  warm speedup:           {result['speedup']:.1f}x "
+            f"(target >= {TARGET_SPEEDUP:.0f}x)",
+        ]
+    )
+
+
+def test_transport_perf_smoke(benchmark):
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    from conftest import emit
+
+    emit("transport_perf", _report(result))
+    assert result["speedup"] >= TARGET_SPEEDUP
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--min-speedup", type=float, default=TARGET_SPEEDUP,
+        help="fail if the warm (recovered-root) run is not this many "
+        "times faster than the cold distributed run (CI passes 2 to "
+        "catch gross regressions only)",
+    )
+    args = parser.parse_args(argv)
+    result = measure()
+    print(_report(result))
+    if result["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: warm speedup {result['speedup']:.1f}x below required "
+            f"{args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

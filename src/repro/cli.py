@@ -236,6 +236,90 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="sleep per trial (chaos/CI hook: makes mid-run kills easy)",
     )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "coordinator mode: serve the shard-lease protocol on this "
+            "port (0 picks a free one; the URL lands in "
+            "root/coordinator.json) and let `repro worker --connect` "
+            "processes run the trials instead of this process"
+        ),
+    )
+    serve.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "coordinator mode: how long a claimed shard may go without "
+            "a renewal before it is requeued to another worker"
+        ),
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help=(
+            "pull-based campaign worker: claim shard leases from a "
+            "`repro serve --port` coordinator, run them, upload exact "
+            "aggregates (safe to SIGKILL at any instant)"
+        ),
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="URL",
+        help="coordinator base URL, e.g. http://127.0.0.1:8763",
+    )
+    worker.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help=(
+            "local spool to drain (in-process) if the coordinator "
+            "stays unreachable — graceful degradation instead of exit 5"
+        ),
+    )
+    worker.add_argument(
+        "--once",
+        action="store_true",
+        help="exit 0 when the coordinator reports the queue drained",
+    )
+    worker.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="claim poll interval while the queue is momentarily empty",
+    )
+    worker.add_argument(
+        "--retries",
+        type=int,
+        default=5,
+        metavar="N",
+        help="transport retries per request before giving up",
+    )
+    worker.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="trial pool processes per shard (default: serial)",
+    )
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="NAME",
+        help="worker name on the coordinator (default: <host>-<pid>)",
+    )
+    worker.add_argument(
+        "--trial-delay",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="sleep per trial (chaos/CI hook: makes mid-run kills easy)",
+    )
 
     submit = sub.add_parser(
         "submit",
@@ -597,7 +681,41 @@ def _cmd_serve(args) -> int:
         metrics_port=args.metrics_port,
         store_bytes=args.store_bytes,
         trial_delay=args.trial_delay,
+        port=args.port,
+        lease_seconds=args.lease_seconds,
     )
+
+
+def _cmd_worker(args) -> int:
+    # The terminal lease-protocol failures map to exit codes here (not
+    # in main(), which would drag the service stack into every CLI
+    # invocation): a quarantined upload means *this* worker computed a
+    # divergent aggregate — the distributed analogue of checkpoint
+    # corruption, exit 4 — and an unreachable coordinator past all
+    # retries is the distributed retry exhaustion, exit 5.
+    from repro.service import (
+        CoordinatorUnreachable,
+        LeaseQuarantinedError,
+        run_worker,
+    )
+
+    try:
+        return run_worker(
+            args.connect,
+            worker_id=args.worker_id,
+            root=args.root,
+            once=args.once,
+            poll_seconds=args.poll,
+            retries=args.retries,
+            workers=args.workers,
+            trial_delay=args.trial_delay,
+        )
+    except LeaseQuarantinedError as exc:
+        print(f"repro: worker quarantined: {exc}", file=sys.stderr)
+        return EXIT_CHECKPOINT_CORRUPT
+    except CoordinatorUnreachable as exc:
+        print(f"repro: coordinator unreachable: {exc}", file=sys.stderr)
+        return EXIT_RETRY_EXHAUSTED
 
 
 def _cmd_submit(args) -> int:
@@ -650,6 +768,7 @@ _COMMANDS = {
     "fuzz": _cmd_fuzz,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "worker": _cmd_worker,
     "trace": _cmd_trace,
 }
 

@@ -7,8 +7,9 @@ many workers; this subsystem makes every failure mode along the way both
 * :mod:`repro.resilience.faults` — a deterministic, seeded
   fault-injection harness: crash/hang/corrupt a
   :class:`~repro.parallel.TrialPool` worker, flip bytes in checkpoint
-  files, all as a pure function of a seed so chaos runs are
-  reproducible;
+  files, and drop/delay/duplicate/truncate
+  :mod:`repro.service.transport` requests, all as a pure function of a
+  seed so chaos runs are reproducible;
 * :mod:`repro.resilience.checkpoint` — atomic (temp + fsync + rename)
   SHA-256-verified campaign checkpoints with automatic rollback to the
   last good generation, and :class:`ResumableCampaign`, the
@@ -31,7 +32,12 @@ from repro.resilience.checkpoint import (
     rng_state_digest,
     verify_fingerprint,
 )
-from repro.resilience.faults import FaultInjector, FaultSpec
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultSpec,
+    NetworkFaultInjector,
+    NetworkFaultSpec,
+)
 
 __all__ = [
     "CheckpointCorruption",
@@ -40,6 +46,8 @@ __all__ = [
     "CheckpointStore",
     "FaultInjector",
     "FaultSpec",
+    "NetworkFaultInjector",
+    "NetworkFaultSpec",
     "ResumableCampaign",
     "rng_state_digest",
     "verify_fingerprint",

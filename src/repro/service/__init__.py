@@ -26,10 +26,19 @@ service workload:
   :class:`~repro.store.ContentStore`, each campaign individually
   checkpointed and resumable;
 * :mod:`repro.service.server` — the spool-directory front end behind
-  ``repro serve`` / ``repro submit``.
+  ``repro serve`` / ``repro submit``;
+* :mod:`repro.service.transport` / :mod:`repro.service.leases` /
+  :mod:`repro.service.coordinator` / :mod:`repro.service.worker` — the
+  multi-host layer: SHA-256-framed JSON over stdlib HTTP, a
+  deadline-and-retry lease table with idempotent completion, the
+  ``repro serve --port`` coordinator, and the pull-based ``repro
+  worker --connect`` client.  The merged digest is bit-identical
+  whether a campaign ran single-host, across N workers, or through
+  worker SIGKILLs and network fault storms.
 
 See MODELING.md §13 for the architecture and the sharding determinism
-contract, and §14 for the fuzz workload riding on it.
+contract, §14 for the fuzz workload riding on it, and §15 for the
+multi-host transport, lease state machine and failure matrix.
 """
 
 from repro.service.aggregate import (
@@ -46,8 +55,18 @@ from repro.service.campaign import (
     run_trial,
     shard_store_key,
 )
+from repro.service.coordinator import Coordinator, run_coordinator
+from repro.service.leases import Lease, LeaseTable
 from repro.service.scheduler import CampaignService
-from repro.service.server import load_jobs, serve, submit_job
+from repro.service.server import load_jobs, pending_jobs, serve, submit_job
+from repro.service.transport import (
+    CoordinatorServer,
+    CoordinatorUnreachable,
+    LeaseQuarantinedError,
+    TransportClient,
+    TransportError,
+)
+from repro.service.worker import run_worker
 from repro.service.workload import (
     Workload,
     get_workload,
@@ -59,17 +78,28 @@ __all__ = [
     "CampaignAggregate",
     "CampaignService",
     "CampaignSpec",
+    "Coordinator",
+    "CoordinatorServer",
+    "CoordinatorUnreachable",
     "HistogramSketch",
+    "Lease",
+    "LeaseQuarantinedError",
+    "LeaseTable",
     "MomentAccumulator",
     "RecordListAggregate",
+    "TransportClient",
+    "TransportError",
     "Workload",
     "get_workload",
     "load_jobs",
+    "pending_jobs",
     "plan_shards",
     "register_workload",
     "run_campaign",
+    "run_coordinator",
     "run_shard",
     "run_trial",
+    "run_worker",
     "serve",
     "shard_store_key",
     "submit_job",

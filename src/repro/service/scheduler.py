@@ -44,7 +44,14 @@ from repro.service.campaign import (
 )
 from repro.store import ContentStore
 
-__all__ = ["CampaignService", "CampaignState"]
+__all__ = [
+    "CampaignService",
+    "CampaignState",
+    "campaign_checkpoint",
+    "restore_campaign",
+    "save_campaign",
+    "serve_campaign_from_store",
+]
 
 
 class CampaignState:
@@ -90,6 +97,86 @@ class CampaignState:
             "cached_shards": self.cached_shards,
             **aggregate.summary(),
         }
+
+
+# -- shared recovery helpers --------------------------------------------------
+#
+# Module-level so both front ends — the in-process CampaignService and
+# the network Coordinator (repro.service.coordinator) — recover a
+# campaign identically: same checkpoint format, same fingerprint check,
+# same store-probe.  A campaign checkpointed by one is resumable by the
+# other.
+
+
+def campaign_checkpoint(
+    checkpoint_dir, campaign_id: str
+) -> Optional[CheckpointStore]:
+    """The campaign's checkpoint store, or ``None`` when disabled."""
+    if checkpoint_dir is None:
+        return None
+    checkpoint_dir = Path(checkpoint_dir)
+    checkpoint_dir.mkdir(parents=True, exist_ok=True)
+    return CheckpointStore(checkpoint_dir / f"{campaign_id}.ckpt")
+
+
+def save_campaign(checkpoint_dir, state: "CampaignState") -> None:
+    """Checkpoint a campaign's finished shards (atomic, fingerprinted)."""
+    ckpt = campaign_checkpoint(checkpoint_dir, state.campaign_id)
+    if ckpt is None:
+        return
+    ckpt.save(
+        {
+            "fingerprint": state.spec.fingerprint(),
+            "done": {
+                i: agg.to_state() for i, agg in state.done.items()
+            },
+            "complete": state.complete,
+        }
+    )
+
+
+def restore_campaign(
+    checkpoint_dir, state: "CampaignState", *, resume: bool = True
+) -> None:
+    """Rebuild finished shards from the campaign's checkpoint, if any.
+
+    ``resume=False`` clears the checkpoint instead.  A fingerprint
+    mismatch (the spec changed under the checkpoint) restores nothing.
+    """
+    ckpt = campaign_checkpoint(checkpoint_dir, state.campaign_id)
+    if ckpt is None:
+        return
+    if not resume:
+        ckpt.clear()
+        return
+    saved = verify_fingerprint(
+        ckpt, ckpt.load(), state.spec.fingerprint()
+    )
+    if saved is None:
+        return
+    for i, agg_state in saved.get("done", {}).items():
+        state.done[int(i)] = state.aggregate_cls.from_state(agg_state)
+    state.resumed_shards = len(state.done)
+    if state.resumed_shards:
+        obs.record_resilience_event(
+            "campaign_resume",
+            detail=state.campaign_id,
+            n=state.resumed_shards,
+        )
+
+
+def serve_campaign_from_store(
+    store: Optional[ContentStore], state: "CampaignState"
+) -> None:
+    """Complete every pending shard the content store already holds."""
+    if store is None:
+        return
+    for i in state.pending():
+        lo, hi = state.shards[i]
+        found, value = store.get(shard_store_key(state.spec, lo, hi))
+        if found and isinstance(value, state.aggregate_cls):
+            state.done[i] = value
+            state.cached_shards += 1
 
 
 class CampaignService:
@@ -142,59 +229,14 @@ class CampaignService:
 
     # -- internals ----------------------------------------------------------
 
-    def _checkpoint(self, state: CampaignState) -> Optional[CheckpointStore]:
-        if self.checkpoint_dir is None:
-            return None
-        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
-        return CheckpointStore(
-            self.checkpoint_dir / f"{state.campaign_id}.ckpt"
-        )
-
     def _save(self, state: CampaignState) -> None:
-        ckpt = self._checkpoint(state)
-        if ckpt is None:
-            return
-        ckpt.save(
-            {
-                "fingerprint": state.spec.fingerprint(),
-                "done": {
-                    i: agg.to_state() for i, agg in state.done.items()
-                },
-                "complete": state.complete,
-            }
-        )
+        save_campaign(self.checkpoint_dir, state)
 
     def _restore(self, state: CampaignState, resume: bool) -> None:
-        ckpt = self._checkpoint(state)
-        if ckpt is None:
-            return
-        if not resume:
-            ckpt.clear()
-            return
-        saved = verify_fingerprint(
-            ckpt, ckpt.load(), state.spec.fingerprint()
-        )
-        if saved is None:
-            return
-        for i, agg_state in saved.get("done", {}).items():
-            state.done[int(i)] = state.aggregate_cls.from_state(agg_state)
-        state.resumed_shards = len(state.done)
-        if state.resumed_shards:
-            obs.record_resilience_event(
-                "campaign_resume",
-                detail=state.campaign_id,
-                n=state.resumed_shards,
-            )
+        restore_campaign(self.checkpoint_dir, state, resume=resume)
 
     def _serve_from_store(self, state: CampaignState) -> None:
-        if self.store is None:
-            return
-        for i in state.pending():
-            lo, hi = state.shards[i]
-            found, value = self.store.get(shard_store_key(state.spec, lo, hi))
-            if found and isinstance(value, state.aggregate_cls):
-                state.done[i] = value
-                state.cached_shards += 1
+        serve_campaign_from_store(self.store, state)
 
     def _next_wave(self) -> List[Tuple[str, int]]:
         """Pick up to ``workers`` pending shards, fair-share by tenant.

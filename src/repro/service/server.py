@@ -30,10 +30,19 @@ from typing import Any, Dict, List, Optional, Union
 
 from repro import store as repro_store
 from repro.ioutil import atomic_write_text
+from repro.obs import trace as obs
 from repro.service.campaign import CampaignSpec
 from repro.service.scheduler import CampaignService
 
-__all__ = ["load_jobs", "serve", "service_dirs", "submit_job"]
+__all__ = [
+    "load_jobs",
+    "pending_jobs",
+    "serve",
+    "service_dirs",
+    "submit_job",
+    "write_result",
+    "write_store_stats",
+]
 
 
 def service_dirs(root: Union[str, Path]) -> Dict[str, Path]:
@@ -64,8 +73,20 @@ def submit_job(root: Union[str, Path], spec: CampaignSpec) -> Path:
     return path
 
 
-def load_jobs(root: Union[str, Path]) -> List[CampaignSpec]:
-    """Specs queued in the spool whose results do not exist yet."""
+def pending_jobs(
+    root: Union[str, Path], *, log=None
+) -> List[CampaignSpec]:
+    """Specs queued in the spool whose results do not exist yet.
+
+    A job file that fails to parse — torn partial write from a
+    non-atomic client, foreign file, hand-edited JSON — is *quarantined*
+    (renamed to ``<job>.json.corrupt``, out of every future glob),
+    counted on the always-on ``spool_corrupt`` resilience counter, and
+    warned about via ``log``; it can never crash or wedge the service
+    loop.  Quarantining rather than skipping matters for the polling
+    loop: a skipped-but-present bad file would be re-parsed (and
+    re-logged) every poll forever.
+    """
     dirs = service_dirs(root)
     specs = []
     for path in sorted(dirs["jobs"].glob("*.json")):
@@ -73,18 +94,32 @@ def load_jobs(root: Union[str, Path]) -> List[CampaignSpec]:
             continue
         try:
             specs.append(CampaignSpec.from_json(path.read_text()))
-        except (ValueError, KeyError, TypeError):
-            # A torn or foreign file is skipped, not fatal: atomic
-            # submission makes this unreachable for well-behaved
-            # clients, and a malformed hand-written job should not take
-            # the service down.
-            continue
+        except (ValueError, KeyError, TypeError) as exc:
+            quarantine = path.with_name(path.name + ".corrupt")
+            try:
+                path.rename(quarantine)
+            except OSError:  # pragma: no cover - racing unlink
+                continue
+            obs.record_resilience_event(
+                "spool_corrupt", detail=path.name
+            )
+            if log is not None:
+                log(
+                    f"warning: malformed job {path.name} quarantined "
+                    f"to {quarantine.name}: {exc}"
+                )
     return specs
 
 
-def _write_result(
+def load_jobs(root: Union[str, Path]) -> List[CampaignSpec]:
+    """Back-compat alias of :func:`pending_jobs` (no warn log)."""
+    return pending_jobs(root)
+
+
+def write_result(
     dirs: Dict[str, Path], campaign_id: str, result: Dict[str, Any]
 ) -> Path:
+    """Atomically publish one campaign's result (the completion marker)."""
     path = dirs["results"] / f"{campaign_id}.json"
     atomic_write_text(
         path, json.dumps(result, sort_keys=True, indent=2) + "\n"
@@ -92,9 +127,10 @@ def _write_result(
     return path
 
 
-def _write_store_stats(
+def write_store_stats(
     dirs: Dict[str, Path], store: repro_store.ContentStore
 ) -> None:
+    """Snapshot the store's traffic counters beside the spool."""
     stats = dict(store.stats_dict())
     stats["disk_bytes"] = store.total_bytes()
     atomic_write_text(
@@ -112,6 +148,8 @@ def serve(
     metrics_port: Optional[int] = None,
     store_bytes: Optional[int] = None,
     trial_delay: float = 0.0,
+    port: Optional[int] = None,
+    lease_seconds: float = 30.0,
     log=print,
 ) -> int:
     """Run the campaign service over a spool directory.
@@ -128,7 +166,27 @@ def serve(
     SIGKILL smoke uses to widen the kill window; it is excluded from
     every fingerprint and store key, so a delayed-then-killed campaign
     resumes to the undelayed reference digest.
+
+    ``port`` switches the service into **coordinator mode** (see
+    :mod:`repro.service.coordinator`): instead of running trials
+    locally, it serves the lease protocol on ``http://host:port`` and
+    pull-based ``repro worker --connect`` processes do the computing.
+    ``workers`` and ``trial_delay`` are local-execution knobs and are
+    ignored there (workers bring their own).
     """
+    if port is not None:
+        from repro.service.coordinator import run_coordinator
+
+        return run_coordinator(
+            root,
+            port=port,
+            once=once,
+            poll_seconds=poll_seconds,
+            lease_seconds=lease_seconds,
+            store_bytes=store_bytes,
+            log=log,
+        )
+
     dirs = service_dirs(root)
     store = repro_store.ContentStore(
         dirs["store"],
@@ -159,7 +217,7 @@ def serve(
 
     try:
         while True:
-            specs = load_jobs(root)
+            specs = pending_jobs(root, log=log)
             if not specs:
                 if once:
                     break
@@ -181,11 +239,11 @@ def serve(
                     f"cached={state.cached_shards}"
                 )
             for cid, result in service.run_until_complete().items():
-                _write_result(dirs, cid, result)
+                write_result(dirs, cid, result)
                 log(f"campaign {cid} digest: {result['digest']}")
-            _write_store_stats(dirs, store)
+            write_store_stats(dirs, store)
     finally:
-        _write_store_stats(dirs, store)
+        write_store_stats(dirs, store)
         if metrics_server is not None:
             metrics_server.close()
         repro_store.configure_store(None)

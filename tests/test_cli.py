@@ -37,6 +37,32 @@ class TestParser:
         assert args.trace_command == "summary"
         assert args.trace_file == "run.jsonl"
 
+    def test_serve_port_defaults_to_spool_only(self):
+        args = build_parser().parse_args(["serve", "--root", "svc"])
+        assert args.port is None
+        assert args.lease_seconds == 30.0
+
+    def test_serve_accepts_coordinator_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--root", "svc", "--port", "0", "--lease-seconds", "5"]
+        )
+        assert args.port == 0
+        assert args.lease_seconds == 5.0
+
+    def test_worker_requires_connect(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
+    def test_worker_defaults(self):
+        args = build_parser().parse_args(
+            ["worker", "--connect", "http://127.0.0.1:8763"]
+        )
+        assert args.connect == "http://127.0.0.1:8763"
+        assert args.root is None
+        assert args.once is False
+        assert args.retries == 5
+        assert args.worker_id is None
+
 
 class TestCommands:
     def test_presets(self, capsys):
